@@ -1,0 +1,27 @@
+"""Shared helpers for the table/figure reproduction benchmarks.
+
+Every benchmark in this directory regenerates one table or figure from
+the paper, printing paper-style rows and asserting the *qualitative*
+shape (who wins, where knees and crossovers fall), never absolute
+nanoseconds.  All use the ``benchmark`` fixture in pedantic single-shot
+mode: the interesting output is the regenerated artifact; the timing
+pytest-benchmark records is the cost of the simulation itself.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

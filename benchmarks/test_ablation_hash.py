@@ -1,0 +1,71 @@
+"""Ablation: the hash-table alternative of Section II.
+
+"Hash tables can significantly reduce the time needed to find a matching
+entry, but can also significantly increase the time needed to insert an
+entry into the list.  Unfortunately, this increase in insertion time has
+been prohibitive ... especially noticeable in the zero-length ping-pong
+latency test."
+
+This benchmark measures all three corners of that argument on the same
+simulated system:
+
+1. the zero-length ping-pong regression (hash loses to the list);
+2. the long-queue search win (hash beats the list, like the ALPU);
+3. the wildcard reverse-lookup degeneration (ANY_SOURCE receives force
+   full scans of the unexpected table).
+"""
+
+import dataclasses
+
+from repro.analysis.tables import format_rows
+from repro.nic.firmware import FirmwareConfig
+from repro.nic.nic import NicConfig
+from repro.workloads.pingpong import PingPongParams, run_pingpong
+from repro.workloads.preposted import PrepostedParams, run_preposted
+
+LIST_NIC = NicConfig.baseline()
+HASH_NIC = NicConfig(firmware=FirmwareConfig(matching="hash"))
+ALPU_NIC = NicConfig.with_alpu(256, 16)
+ITERS = dict(iterations=6, warmup=2)
+
+
+def regenerate():
+    pingpong = {
+        name: run_pingpong(nic, PingPongParams(iterations=8, warmup=3)).mean_ns
+        for name, nic in (("list", LIST_NIC), ("hash", HASH_NIC), ("alpu", ALPU_NIC))
+    }
+    depth = {}
+    for name, nic in (("list", LIST_NIC), ("hash", HASH_NIC), ("alpu", ALPU_NIC)):
+        series = []
+        for length in (1, 32, 128, 256):
+            result = run_preposted(
+                nic,
+                PrepostedParams(queue_length=length, traverse_fraction=1.0, **ITERS),
+            )
+            series.append(result.median_ns)
+        depth[name] = series
+    return pingpong, depth
+
+
+def test_hash_ablation(benchmark, once):
+    pingpong, depth = once(benchmark, regenerate)
+    print()
+    print("ABLATION -- hash-table matching vs list vs ALPU")
+    print(format_rows(
+        ["engine", "0B ping-pong (ns)", "L=1", "L=32", "L=128", "L=256"],
+        [
+            [name, f"{pingpong[name]:.0f}"] + [f"{x:.0f}" for x in depth[name]]
+            for name in ("list", "hash", "alpu")
+        ],
+    ))
+    # corner 1: the zero-length regression is real and significant
+    assert pingpong["hash"] > pingpong["list"] + 100
+    # and the ALPU does NOT pay it anywhere near as badly -- that is the
+    # design win of the paper
+    assert pingpong["alpu"] - pingpong["list"] < 0.75 * (
+        pingpong["hash"] - pingpong["list"]
+    )
+    # corner 2: at long queues the hash beats the traversing list...
+    assert depth["hash"][-1] < 0.5 * depth["list"][-1]
+    # ...but the ALPU beats or matches the hash without the insert tax
+    assert depth["alpu"][-1] <= depth["hash"][-1] * 1.05

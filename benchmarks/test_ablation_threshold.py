@@ -1,0 +1,73 @@
+"""Ablation: the ALPU engagement threshold heuristic (Section IV-B/VI-B).
+
+"Because using the ALPU will incur a certain amount of overhead, the
+software must only use it when the queue is adequately long. ... With 5
+entries in the posted receive queue, the ALPU breaks even.  Thus, it is
+entirely possible that the MPI library could be optimized to not use the
+ALPU until the list is at least 5 entries long."
+
+Sweeps the driver's ``use_threshold``: with the threshold at the paper's
+suggested 5, short queues run at baseline speed (the threshold keeps the
+ALPU idle) while long queues still get the flat ALPU curve.
+"""
+
+import dataclasses
+
+from repro.analysis.tables import format_rows
+from repro.nic.driver import DriverConfig
+from repro.nic.nic import NicConfig
+from repro.workloads.preposted import PrepostedParams, run_preposted
+
+LENGTHS = [1, 2, 4, 8, 16, 64, 128]
+ITERS = dict(iterations=6, warmup=2)
+
+
+def nic_with_threshold(threshold: int) -> NicConfig:
+    base = NicConfig.with_alpu(256, 16)
+    return dataclasses.replace(
+        base,
+        posted_driver=DriverConfig(use_threshold=threshold),
+        unexpected_driver=DriverConfig(use_threshold=threshold),
+    )
+
+
+def regenerate():
+    curves = {"baseline": [], "threshold=1": [], "threshold=5": []}
+    for length in LENGTHS:
+        params = PrepostedParams(
+            queue_length=length, traverse_fraction=1.0, **ITERS
+        )
+        curves["baseline"].append(
+            run_preposted(NicConfig.baseline(), params).median_ns
+        )
+        curves["threshold=1"].append(
+            run_preposted(nic_with_threshold(1), params).median_ns
+        )
+        curves["threshold=5"].append(
+            run_preposted(nic_with_threshold(5), params).median_ns
+        )
+    return curves
+
+
+def test_threshold_ablation(benchmark, once):
+    curves = once(benchmark, regenerate)
+    print()
+    print("ABLATION -- ALPU engagement threshold (latency in ns)")
+    print(format_rows(
+        ["queue length"] + [str(x) for x in LENGTHS],
+        [[name] + [f"{x:.0f}" for x in series] for name, series in curves.items()],
+    ))
+    baseline = curves["baseline"]
+    always = curves["threshold=1"]
+    thresholded = curves["threshold=5"]
+    # below the threshold, the thresholded driver matches the baseline
+    # (no ALPU interaction overhead)...
+    for i, length in enumerate(LENGTHS):
+        if length < 5:
+            assert abs(thresholded[i] - baseline[i]) < 30
+    # ...while the always-on driver pays its fixed overhead there
+    assert always[0] > baseline[0] + 30
+    # at long queues both ALPU variants converge and crush the baseline
+    tail = LENGTHS.index(128)
+    assert abs(thresholded[tail] - always[tail]) < 60
+    assert thresholded[tail] < 0.6 * baseline[tail]

@@ -1,0 +1,62 @@
+"""Implementation microbenchmark: behavioural-ALPU operation throughput.
+
+Unlike the table/figure reproductions (single-shot simulations), this is
+a conventional pytest-benchmark measurement of the *simulator itself*:
+how fast the behavioural ALPU model executes match and insert
+transactions.  It guards the hot loop that every Figure 5/6 point runs
+millions of times, and it compares against the reference list to show
+the model's cost is in the same league as the oracle it replaces.
+"""
+
+import pytest
+
+from repro.core.alpu import Alpu, AlpuConfig
+from repro.core.commands import Insert, StartInsert, StopInsert
+from repro.core.match import MatchEntry, MatchFormat, MatchRequest
+from repro.core.reference import ReferenceMatchList
+
+FMT = MatchFormat()
+DEPTH = 200  # entries resident during the match storm
+
+
+def loaded_alpu():
+    alpu = Alpu(AlpuConfig(total_cells=256, block_size=16))
+    alpu.submit(StartInsert())
+    for i in range(DEPTH):
+        alpu.submit(Insert(FMT.pack(1, i % 32, i % 64), 0, i))
+    alpu.submit(StopInsert())
+    return alpu
+
+
+def test_alpu_match_and_reinsert_throughput(benchmark):
+    alpu = loaded_alpu()
+    probe = MatchRequest(bits=FMT.pack(1, 5, 5))
+    replace = Insert(FMT.pack(1, 5, 5), 0, 999)
+
+    def match_and_reinsert():
+        responses = alpu.present_header(probe)
+        alpu.submit(StartInsert())
+        alpu.submit(replace)
+        alpu.submit(StopInsert())
+        return responses
+
+    result = benchmark(match_and_reinsert)
+    assert len(result) == 1
+
+
+def test_alpu_failed_match_throughput(benchmark):
+    """A miss scans every block: the worst-case hot path."""
+    alpu = loaded_alpu()
+    probe = MatchRequest(bits=FMT.pack(2, 0, 0))  # wrong context: never hits
+    result = benchmark(lambda: alpu.present_header(probe))
+    assert len(result) == 1
+
+
+def test_reference_list_throughput(benchmark):
+    """The oracle's cost, for comparison with the model's."""
+    reference = ReferenceMatchList()
+    for i in range(DEPTH):
+        reference.append(MatchEntry(FMT.pack(1, i % 32, i % 64), 0, i))
+    probe = MatchRequest(bits=FMT.pack(2, 0, 0))
+    matched, traversed = benchmark(lambda: reference.match(probe))
+    assert matched is None and traversed == DEPTH

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Explore the ALPU design space with the FPGA area/timing model.
+
+Beyond reproducing the twelve published design points of Tables IV and V,
+the structural model extrapolates: larger arrays, wider Portals-style
+match words, narrower MPI-only configurations.  This example walks the
+space and prints the engineering trade-offs the paper discusses --
+including the "worst case" note that a mask bit per match bit is only
+needed for Portals-class generality.
+
+Run:  python examples/fpga_design_space.py
+"""
+
+from repro.analysis.tables import format_rows
+from repro.core.alpu import AlpuConfig
+from repro.core.cell import CellKind
+from repro.core.pipeline import match_latency_cycles
+from repro.fpga.resources import estimate_resources
+from repro.fpga.timing import asic_clock_mhz, clock_mhz
+
+#: Virtex-II Pro 100 capacity, for utilization estimates (the paper: the
+#: 256-entry posted ALPU consumes ~35% of the part)
+V2P100_SLICES = 44_096
+
+
+def sweep_sizes() -> None:
+    print("Array size sweep (posted-receive cells, block size 16)")
+    rows = []
+    for cells in (64, 128, 256, 512, 1024):
+        config = AlpuConfig(total_cells=cells, block_size=16)
+        estimate = estimate_resources(config)
+        rows.append(
+            (
+                cells,
+                f"{estimate.luts:,}",
+                f"{estimate.flipflops:,}",
+                f"{estimate.slices:,}",
+                f"{100 * estimate.slices / V2P100_SLICES:.0f}%",
+                f"{clock_mhz(16):.1f}",
+                match_latency_cycles(cells, 16),
+            )
+        )
+    print(format_rows(
+        ["cells", "LUTs", "FFs", "slices", "V2P100", "MHz", "latency"], rows
+    ))
+    print(
+        "Area scales linearly with cells; the latency column grows only\n"
+        "when the between-block tree deepens past 8 blocks.\n"
+    )
+
+
+def sweep_match_widths() -> None:
+    print("Match width sweep (256 cells, block 16): MPI-only vs Portals")
+    rows = []
+    for label, width, tag in (
+        ("MPI 4K-node minimal", 32, 16),
+        ("MPI 32K-node (paper)", 42, 16),
+        ("Portals full width", 64, 20),
+        ("Portals wide", 96, 20),
+    ):
+        posted = estimate_resources(
+            AlpuConfig(
+                kind=CellKind.POSTED_RECEIVE,
+                total_cells=256,
+                block_size=16,
+                match_width=width,
+                tag_width=tag,
+            )
+        )
+        unexpected = estimate_resources(
+            AlpuConfig(
+                kind=CellKind.UNEXPECTED,
+                total_cells=256,
+                block_size=16,
+                match_width=width,
+                tag_width=tag,
+            )
+        )
+        rows.append(
+            (label, width, f"{posted.flipflops:,}", f"{unexpected.flipflops:,}",
+             f"{100 * unexpected.flipflops / posted.flipflops:.0f}%")
+        )
+    print(format_rows(
+        ["configuration", "bits", "posted FFs", "unexpected FFs", "ratio"], rows
+    ))
+    print(
+        "The stored-mask tax grows with width: masks-as-inputs (the\n"
+        "unexpected flavour) saves more the wider the match word gets.\n"
+    )
+
+
+def asic_projection() -> None:
+    print("ASIC projection (the paper's conservative 5x estimate)")
+    rows = [
+        (bs, f"{clock_mhz(bs):.1f}", f"{asic_clock_mhz(bs):.0f}",
+         f"{1e3 / asic_clock_mhz(bs) * 7:.1f}")
+        for bs in (8, 16, 32)
+    ]
+    print(format_rows(
+        ["block", "FPGA MHz", "ASIC MHz", "7-cycle match (ns)"], rows
+    ))
+    print(
+        "At ~500 MHz a full match costs ~14 ns -- less than one warm\n"
+        "list-entry visit on the embedded processor."
+    )
+
+
+if __name__ == "__main__":
+    sweep_sizes()
+    sweep_match_widths()
+    asic_projection()

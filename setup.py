@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose setuptools predates self-contained PEP 660 editable
+installs (older setuptools needs the ``wheel`` package, which may not be
+available without network access).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Analysis helpers: slope fits, knee detection, crossovers, tables.
+
+The paper summarizes its curves with a handful of derived quantities --
+nanoseconds per traversed entry (warm and cold), where the cache knee
+sits, the ALPU's fixed overhead, and the queue length at which the ALPU
+breaks even.  These helpers compute the same quantities from sweep rows
+so EXPERIMENTS.md and the benchmark harness can report paper-vs-measured
+side by side.
+"""
+
+from repro.analysis.curves import (
+    per_entry_slope_ns,
+    detect_knee,
+    crossover_length,
+    fixed_overhead_ns,
+)
+from repro.analysis.tables import format_rows, format_curve
+
+__all__ = [
+    "per_entry_slope_ns",
+    "detect_knee",
+    "crossover_length",
+    "fixed_overhead_ns",
+    "format_rows",
+    "format_curve",
+]

@@ -1,0 +1,79 @@
+"""The ALPU -- Associative List Processing Unit.
+
+This subpackage is the paper's primary contribution: a TCAM-like
+associative matching structure augmented with list management so it can
+implement MPI's ordered, high-turnover posted-receive and
+unexpected-message queues in hardware.
+
+The hierarchy follows Figure 2 of the paper:
+
+* :class:`~repro.core.cell.Cell` -- one match cell: stored match bits,
+  (optionally stored) mask bits, valid bit, and a tag that software uses as
+  a pointer into NIC memory.  Two flavours exist: the posted-receive cell
+  stores its mask (receives carry the wildcards) and the
+  unexpected-message cell takes the mask as an input (the receive being
+  posted carries the wildcards).
+* :class:`~repro.core.block.CellBlock` -- 2^k cells with a registered
+  request, per-cell shift enables, compaction control and a binary
+  priority-mux tree that selects the *oldest* matching cell.
+* :class:`~repro.core.alpu.Alpu` -- chains blocks into one virtual array,
+  adds the controlling state machine of Figure 3 (Match / Read Command /
+  Insert modes) and the command/response protocol of Tables I and II.
+* :class:`~repro.core.pipeline.AlpuTimingModel` -- the pipeline timing of
+  Section V-D: a new match every 6-7 clock cycles, inserts every other
+  cycle.
+* :class:`~repro.core.reference.ReferenceMatchList` -- a golden,
+  linear-list matcher with identical semantics, used both for differential
+  testing of the ALPU and as the software queue in the baseline NIC.
+"""
+
+from repro.core.match import (
+    MatchFormat,
+    MatchRequest,
+    MatchEntry,
+    matches,
+    ANY_SOURCE,
+    ANY_TAG,
+)
+from repro.core.cell import Cell, CellKind
+from repro.core.block import CellBlock
+from repro.core.alpu import Alpu, AlpuConfig, AlpuMode
+from repro.core.commands import (
+    Command,
+    StartInsert,
+    Insert,
+    StopInsert,
+    Reset,
+    Response,
+    StartAcknowledge,
+    MatchSuccess,
+    MatchFailure,
+)
+from repro.core.pipeline import AlpuTimingModel
+from repro.core.reference import ReferenceMatchList
+
+__all__ = [
+    "MatchFormat",
+    "MatchRequest",
+    "MatchEntry",
+    "matches",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Cell",
+    "CellKind",
+    "CellBlock",
+    "Alpu",
+    "AlpuConfig",
+    "AlpuMode",
+    "Command",
+    "StartInsert",
+    "Insert",
+    "StopInsert",
+    "Reset",
+    "Response",
+    "StartAcknowledge",
+    "MatchSuccess",
+    "MatchFailure",
+    "AlpuTimingModel",
+    "ReferenceMatchList",
+]

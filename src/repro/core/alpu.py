@@ -1,0 +1,433 @@
+"""The Associative List Processing Unit (Figure 2d + Figure 3).
+
+The ALPU chains several cell blocks into one large virtual array of cells
+and adds the control logic that talks to the rest of the NIC through three
+FIFOs (header in, command in, result out).  This module is the
+*behavioural* model: transactions (matches, inserts, resets) execute with
+exact hardware semantics -- ordering, priority, wildcards, delete-on-match
+compaction, insert-mode hold-and-retry -- while the *timing* of those
+transactions is layered on separately by
+:class:`~repro.core.pipeline.AlpuTimingModel` so the same model serves
+both the property-test suite and the system simulation.
+
+Cell ordering convention (matches Fig. 2c): list items are inserted at the
+*youngest* end (block 0, local cell 0) and migrate toward the *oldest* end
+(last block, highest local cell).  The oldest matching entry wins, because
+MPI requires the first matching item in list order to be chosen.
+
+State machine (Fig. 3): the ALPU starts in Match mode.  A command moves it
+through Read Command, where only RESET and START INSERT are valid (other
+commands are discarded, footnote 3).  In Insert mode, matching continues
+between inserts, but a *failed* match is held for retry until inserts
+complete -- this closes the race where a header misses the ALPU while the
+matching receive is sitting in the command FIFO on its way in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.core.block import CellBlock
+from repro.core.cell import Cell, CellKind
+from repro.core.commands import (
+    Command,
+    Insert,
+    MatchFailure,
+    MatchSuccess,
+    Reset,
+    Response,
+    StartAcknowledge,
+    StartInsert,
+    StopInsert,
+)
+from repro.core.match import MatchEntry, MatchRequest
+
+
+class AlpuMode(enum.Enum):
+    """States of the controlling state machine (Figure 3)."""
+
+    MATCH = "match"
+    READ_COMMAND = "read_command"
+    INSERT = "insert"
+
+
+class CompactionReach(enum.Enum):
+    """The "space available" rule used by insert-mode compaction.
+
+    ``BLOCK`` is the paper's FPGA-friendly rule: a cell may shift if a
+    higher cell *in its own block* is empty or the lowest cell of the next
+    block is empty.  ``GLOBAL`` is the relaxed rule the paper says "could
+    easily be expanded" to, modelled as a single global shift register;
+    the ablation benchmark compares the two.
+    """
+
+    BLOCK = "block"
+    GLOBAL = "global"
+
+
+@dataclasses.dataclass(frozen=True)
+class AlpuConfig:
+    """ALPU geometry.
+
+    The FPGA prototype swept ``total_cells`` in {128, 256} and
+    ``block_size`` in {8, 16, 32} with a 42-bit match width and 16-bit
+    tags; those are the defaults here.
+    """
+
+    kind: CellKind = CellKind.POSTED_RECEIVE
+    total_cells: int = 256
+    block_size: int = 16
+    match_width: int = 42
+    tag_width: int = 16
+    compaction_reach: CompactionReach = CompactionReach.BLOCK
+
+    def __post_init__(self) -> None:
+        if self.total_cells <= 0 or self.total_cells % self.block_size:
+            raise ValueError(
+                f"total_cells ({self.total_cells}) must be a positive "
+                f"multiple of block_size ({self.block_size})"
+            )
+        if self.block_size & (self.block_size - 1):
+            raise ValueError(f"block_size must be a power of two: {self.block_size}")
+        if self.match_width <= 0 or self.tag_width <= 0:
+            raise ValueError(f"invalid widths in {self}")
+
+    @property
+    def num_blocks(self) -> int:
+        """How many cell blocks the chain comprises."""
+        return self.total_cells // self.block_size
+
+
+@dataclasses.dataclass
+class AlpuStats:
+    """Lifetime counters, used by tests and the ablation benches."""
+
+    matches_attempted: int = 0
+    match_successes: int = 0
+    match_failures: int = 0
+    inserts: int = 0
+    insert_stall_cycles: int = 0
+    compaction_steps: int = 0
+    resets: int = 0
+    commands_discarded: int = 0
+    held_retries: int = 0
+
+
+class AlpuError(RuntimeError):
+    """Raised on protocol violations the hardware could not absorb."""
+
+
+class Alpu:
+    """Behavioural model of the associative list processing unit."""
+
+    def __init__(self, config: AlpuConfig = AlpuConfig()) -> None:
+        self.config = config
+        self.blocks: List[CellBlock] = [
+            CellBlock(config.kind, config.block_size, index=i)
+            for i in range(config.num_blocks)
+        ]
+        self.mode = AlpuMode.MATCH
+        #: responses in result-FIFO order
+        self.results: Deque[Response] = deque()
+        #: header requests not yet resolved (held during insert mode)
+        self._pending: Deque[MatchRequest] = deque()
+        self.stats = AlpuStats()
+
+    # ------------------------------------------------------------- observers
+    @property
+    def capacity(self) -> int:
+        """Total number of cells."""
+        return self.config.total_cells
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid entries currently stored."""
+        return sum(block.occupancy for block in self.blocks)
+
+    @property
+    def free_entries(self) -> int:
+        """Free slots (what START ACKNOWLEDGE reports)."""
+        return self.capacity - self.occupancy
+
+    @property
+    def has_held_request(self) -> bool:
+        """A failed match is being held for retry (insert mode)."""
+        return bool(self._pending)
+
+    def entries(self) -> List[MatchEntry]:
+        """Stored entries in priority (oldest-first) order, skipping holes."""
+        ordered: List[MatchEntry] = []
+        for block in reversed(self.blocks):
+            for cell in reversed(block.cells):
+                snap = cell.snapshot()
+                if snap is not None:
+                    ordered.append(snap)
+        return ordered
+
+    def _cell(self, global_index: int) -> Cell:
+        block, local = divmod(global_index, self.config.block_size)
+        return self.blocks[block].cells[local]
+
+    # =============================================================== headers
+    def present_header(self, request: MatchRequest) -> List[Response]:
+        """Feed one request from the header FIFO.
+
+        Returns the responses this header produced *now* (possibly none:
+        in insert mode a failed match is held for retry and resolves
+        later, via :meth:`submit`).
+        """
+        self._check_widths(request.bits, request.mask)
+        self._pending.append(request)
+        return self._drain_pending()
+
+    def _drain_pending(self) -> List[Response]:
+        """Resolve queued requests in arrival order.
+
+        In MATCH mode every request resolves immediately.  In INSERT mode
+        a failing head request blocks the pipe (held for retry); requests
+        behind it wait so that result order always equals arrival order.
+        """
+        emitted: List[Response] = []
+        while self._pending:
+            head = self._pending[0]
+            matched, response = self._match_and_delete(head)
+            if matched:
+                self._pending.popleft()
+                self.results.append(response)
+                emitted.append(response)
+            elif self.mode is AlpuMode.INSERT:
+                break  # held for retry; MATCH FAILURE may not be emitted now
+            else:
+                self._pending.popleft()
+                self.results.append(response)
+                emitted.append(response)
+        return emitted
+
+    def _match_and_delete(self, request: MatchRequest):
+        """One full match pipeline pass: compare, prioritize, delete."""
+        self.stats.matches_attempted += 1
+        # stage 1: fan the request out; each block registers its own copy
+        for block in self.blocks:
+            block.register_request(request)
+        # stages 2-3: per-cell compares + in-block priority muxing;
+        # stage 4: between-block prioritization (oldest block wins)
+        found_block = -1
+        local_location = -1
+        tag = 0
+        for block_index in range(len(self.blocks) - 1, -1, -1):
+            matched, location, block_tag = self.blocks[block_index].match()
+            if matched:
+                found_block, local_location, tag = block_index, location, block_tag
+                break
+        if found_block < 0:
+            self.stats.match_failures += 1
+            return False, MatchFailure()
+        # stages 5-6: broadcast the delete and shift-compact
+        self._delete_at(found_block, local_location)
+        self.stats.match_successes += 1
+        return True, MatchSuccess(tag=tag)
+
+    def _delete_at(self, block_index: int, local_location: int) -> None:
+        """Delete-on-match: everything below the match shifts up one.
+
+        "On a successful match ... the match location is broadcast to all
+        of the cell blocks.  Cells at, and below, the match location are
+        enabled while cells above it are not."  The shift crosses block
+        boundaries freely (unlike insert-mode compaction).
+        """
+        size = self.config.block_size
+        for current in range(block_index, -1, -1):
+            through = local_location if current == block_index else size - 1
+            incoming = (
+                self.blocks[current - 1].cells[size - 1] if current > 0 else None
+            )
+            self.blocks[current].shift_up_through(through, incoming)
+
+    # ============================================================== commands
+    def submit(self, command: Command) -> List[Response]:
+        """Feed one command from the command FIFO; returns new responses."""
+        if self.mode is AlpuMode.INSERT:
+            return self._submit_insert_mode(command)
+        # MATCH mode -> Read Command transition (Fig. 3): only RESET and
+        # START INSERT are valid; others are discarded (footnote 3).
+        if isinstance(command, StartInsert):
+            self.mode = AlpuMode.INSERT
+            response = StartAcknowledge(free_entries=self.free_entries)
+            self.results.append(response)
+            return [response]
+        if isinstance(command, Reset):
+            return self._reset()
+        self.stats.commands_discarded += 1
+        return []
+
+    def _submit_insert_mode(self, command: Command) -> List[Response]:
+        if isinstance(command, Insert):
+            self._insert(command)
+            # between inserts, matching continues: retry any held request
+            # against the (possibly now-matching) new contents
+            if self._pending:
+                self.stats.held_retries += 1
+            return self._drain_pending()
+        if isinstance(command, StopInsert):
+            self.mode = AlpuMode.MATCH
+            # resolve the backlog; failures may be emitted again now
+            return self._drain_pending()
+        if isinstance(command, Reset):
+            return self._reset()
+        if isinstance(command, StartInsert):
+            # redundant START INSERT: re-acknowledge with current free count
+            response = StartAcknowledge(free_entries=self.free_entries)
+            self.results.append(response)
+            return [response]
+        self.stats.commands_discarded += 1
+        return []
+
+    def _reset(self) -> List[Response]:
+        """RESET: clear every valid flag and return to Match mode.
+
+        Requests in flight resolve against an empty array (all failures),
+        preserving one-response-per-header.
+        """
+        for block in self.blocks:
+            for cell in block.cells:
+                cell.clear()
+        self.mode = AlpuMode.MATCH
+        self.stats.resets += 1
+        return self._drain_pending()
+
+    # =============================================================== inserts
+    def _insert(self, command: Insert) -> None:
+        self._check_widths(command.match_bits, command.mask_bits)
+        self._check_tag(command.tag)
+        if self.free_entries == 0:
+            raise AlpuError(
+                "INSERT into a full ALPU -- software must honour the free "
+                "count from START ACKNOWLEDGE"
+            )
+        # the insert point is the youngest cell; if occupied, compaction
+        # must first migrate a hole down to it (each step is one clock)
+        stall = 0
+        while self._cell(0).valid:
+            if not self.compact_step():
+                raise AlpuError("compaction cannot free the insert cell")
+            stall += 1
+        self.stats.insert_stall_cycles += stall
+        entry = MatchEntry(
+            bits=command.match_bits, mask=command.mask_bits, tag=command.tag
+        )
+        self._cell(0).load(entry)
+        self.stats.inserts += 1
+        # the pipeline allows inserts every other cycle because data shifts
+        # up one position on the intervening clock; model that free step
+        self.compact_step()
+
+    # ============================================================ compaction
+    def compact_step(self) -> bool:
+        """One clock of insert-mode hole compaction.  True if data moved.
+
+        Under the BLOCK reach rule each block decides independently from
+        cycle-start state:
+
+        * if the next (older) block's lowest cell is empty, the whole
+          block shifts up one, its top cell crossing into that block;
+        * otherwise, if the block has an internal hole with valid data
+          below it, the run below the lowest such hole shifts up one.
+
+        Under GLOBAL reach the ALPU behaves as a single block.
+        """
+        self.stats.compaction_steps += 1
+        if self.config.compaction_reach is CompactionReach.GLOBAL:
+            return self._compact_step_global()
+        return self._compact_step_block()
+
+    def _compact_step_global(self) -> bool:
+        total = self.capacity
+        # find the globally lowest hole with valid data below it
+        hole = None
+        seen_valid_below = False
+        for index in range(total):
+            if self._cell(index).valid:
+                seen_valid_below = True
+            elif seen_valid_below:
+                hole = index
+                break
+        if hole is None:
+            return False
+        size = self.config.block_size
+        block_index, local = divmod(hole, size)
+        self._delete_like_shift(block_index, local)
+        return True
+
+    def _compact_step_block(self) -> bool:
+        size = self.config.block_size
+        blocks = self.blocks
+        start_valid = [[cell.valid for cell in block.cells] for block in blocks]
+
+        FULL = -1
+        plans: List[Optional[int]] = []
+        for index, block in enumerate(blocks):
+            plan: Optional[int] = None
+            next_bottom_empty = (
+                index + 1 < len(blocks) and not start_valid[index + 1][0]
+            )
+            if next_bottom_empty and any(start_valid[index]):
+                plan = FULL
+            else:
+                hole = None
+                for position in range(size):
+                    if not start_valid[index][position]:
+                        if any(start_valid[index][:position]):
+                            hole = position
+                            break
+                if hole is not None:
+                    plan = hole
+            plans.append(plan)
+
+        if all(plan is None for plan in plans):
+            return False
+
+        # apply oldest-first so each block reads its younger neighbour's
+        # cycle-start top cell before that neighbour shifts
+        for index in range(len(blocks) - 1, -1, -1):
+            plan = plans[index]
+            incoming: Optional[Cell] = None
+            if index > 0 and plans[index - 1] == FULL:
+                incoming = blocks[index - 1].cells[size - 1]
+            if plan == FULL:
+                blocks[index].shift_up_through(size - 1, incoming)
+            elif plan is not None:
+                blocks[index].shift_up_through(plan, incoming)
+            elif incoming is not None:
+                blocks[index].cells[0].copy_from(incoming)
+        # a FULL block's top was consumed by its older neighbour's cell 0;
+        # shift_up_through already rewrote every cell it owned, and the
+        # incoming latch above completes the cross-block move, so nothing
+        # is left dangling.
+        return True
+
+    def _delete_like_shift(self, block_index: int, local_location: int) -> None:
+        size = self.config.block_size
+        for current in range(block_index, -1, -1):
+            through = local_location if current == block_index else size - 1
+            incoming = (
+                self.blocks[current - 1].cells[size - 1] if current > 0 else None
+            )
+            self.blocks[current].shift_up_through(through, incoming)
+
+    # ============================================================ validation
+    def _check_widths(self, bits: int, mask: int) -> None:
+        limit = 1 << self.config.match_width
+        if not 0 <= bits < limit or not 0 <= mask < limit:
+            raise AlpuError(
+                f"match/mask bits exceed configured width "
+                f"{self.config.match_width}: bits={bits:#x} mask={mask:#x}"
+            )
+
+    def _check_tag(self, tag: int) -> None:
+        if not 0 <= tag < (1 << self.config.tag_width):
+            raise AlpuError(
+                f"tag {tag:#x} exceeds configured tag width {self.config.tag_width}"
+            )

@@ -1,0 +1,171 @@
+"""A block of cells (Figure 2c).
+
+A cell block groups ``2^k`` cells and contains
+
+* a registered copy of the incoming request (for timing -- one pipeline
+  stage of the prototype),
+* the priority-mux tree that selects the *highest-order* (oldest) matching
+  cell and encodes the match location, and
+* the flow-control logic that drives per-cell shift enables during deletes
+  and insert-mode compaction.
+
+Cell ordering: local index 0 is the lowest-order (youngest) cell; local
+index ``size-1`` is the highest-order (oldest, rightmost in Fig. 2c) cell
+and has the highest priority, because MPI requires the *first* matching
+item in list order to win.
+
+The block size must be a power of two "to simplify the task of prioritizing
+the correct tag and generating a correct match location"; the mux tree here
+is written exactly as that ``log2(size)``-level binary tree so that the
+encoding logic the paper describes is what actually runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.cell import Cell, CellKind
+from repro.core.match import MatchRequest
+
+
+def priority_select(
+    match_flags: Sequence[bool], tags: Sequence[int]
+) -> Tuple[bool, int, int]:
+    """The binary priority-mux tree of Section III-B.
+
+    At the first level, the higher cell of each pair selects its own tag if
+    it matched, else its partner's; the pair's match bit becomes the lowest
+    order bit of the match location.  Each further level ORs the pair of
+    match bits and encodes one more location bit.  Returns
+    ``(any_match, location, tag)`` where ``location`` is the index of the
+    highest-priority (largest-index) matching element.
+
+    Works for any power-of-two length; a single element degenerates to the
+    obvious base case.
+    """
+    n = len(match_flags)
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"priority_select needs a power-of-two width, got {n}")
+    if len(tags) != n:
+        raise ValueError("match_flags and tags must have equal length")
+
+    # level 0: leaves
+    level = [
+        (bool(match_flags[i]), 0, tags[i]) for i in range(n)
+    ]  # (matched, location_bits, tag)
+    bit = 0
+    while len(level) > 1:
+        next_level = []
+        for pair_index in range(0, len(level), 2):
+            low = level[pair_index]
+            high = level[pair_index + 1]
+            # the higher-order element wins when it matched
+            if high[0]:
+                matched, location, tag = True, high[1] | (1 << bit), high[2]
+            elif low[0]:
+                matched, location, tag = True, low[1], low[2]
+            else:
+                matched, location, tag = False, 0, low[2]
+            next_level.append((matched, location, tag))
+        level = next_level
+        bit += 1
+    return level[0]
+
+
+class CellBlock:
+    """A power-of-two group of cells with priority and flow control."""
+
+    def __init__(self, kind: CellKind, size: int, index: int = 0) -> None:
+        if size <= 0 or size & (size - 1):
+            raise ValueError(f"block size must be a power of two, got {size}")
+        self.kind = kind
+        self.size = size
+        #: position of this block within the ALPU chain (0 = youngest end)
+        self.index = index
+        self.cells: List[Cell] = [Cell(kind) for _ in range(size)]
+        #: registered copy of the incoming request (pipeline stage 1)
+        self.registered_request: Optional[MatchRequest] = None
+
+    # ------------------------------------------------------------- observers
+    @property
+    def occupancy(self) -> int:
+        """Number of valid cells in this block."""
+        return sum(1 for cell in self.cells if cell.valid)
+
+    @property
+    def is_full(self) -> bool:
+        """Every cell valid?"""
+        return all(cell.valid for cell in self.cells)
+
+    @property
+    def bottom_empty(self) -> bool:
+        """Is the lowest-order cell free (the insert/shift-in target)?"""
+        return not self.cells[0].valid
+
+    def lowest_hole_above(self, local_index: int) -> Optional[int]:
+        """Lowest empty cell strictly above ``local_index``, if any."""
+        for position in range(local_index + 1, self.size):
+            if not self.cells[position].valid:
+                return position
+        return None
+
+    def lowest_hole(self) -> Optional[int]:
+        """Lowest empty cell position in the block, if any."""
+        for position, cell in enumerate(self.cells):
+            if not cell.valid:
+                return position
+        return None
+
+    # -------------------------------------------------------------- matching
+    def register_request(self, request: MatchRequest) -> None:
+        """Pipeline stage 1: latch the block's own copy of the request."""
+        self.registered_request = request
+
+    def match(self, request: Optional[MatchRequest] = None) -> Tuple[bool, int, int]:
+        """Pipeline stages 2-3: per-cell compares + in-block priority mux.
+
+        Returns ``(matched, local_location, tag)``.  Uses the registered
+        request unless one is passed explicitly.
+
+        Implementation note: the hardware evaluates every cell in
+        parallel and selects through the :func:`priority_select` mux
+        tree; a top-down scan that stops at the first (highest-index)
+        match computes the identical result, and the simulator's hot
+        loop uses that form.  ``test_block.py`` holds the two equal by
+        property test.
+        """
+        if request is None:
+            request = self.registered_request
+        if request is None:
+            raise RuntimeError("match() with no registered request")
+        request_bits = request.bits
+        request_mask = request.mask
+        for location in range(self.size - 1, -1, -1):
+            cell = self.cells[location]
+            if cell.valid and (
+                (cell.bits ^ request_bits) & ~(cell.mask | request_mask)
+            ) == 0:
+                return True, location, cell.tag
+        return False, 0, self.cells[0].tag
+
+    # ------------------------------------------------------------- shifting
+    def shift_up_through(self, local_index: int, incoming: Optional[Cell]) -> Cell:
+        """Shift cells ``[0, local_index]`` up by one position.
+
+        ``incoming`` (the top cell of the previous block, or None at the
+        chain's youngest end) is latched into local cell 0.  Returns a
+        snapshot of what fell out of ``local_index`` *before* the shift
+        (the caller discards it on delete, or latches it into the next
+        block's bottom during compaction).  Mirrors the delete behaviour:
+        "Cells at, and below, the match location are enabled while cells
+        above it are not."
+        """
+        displaced = Cell(self.kind)
+        displaced.copy_from(self.cells[local_index])
+        for position in range(local_index, 0, -1):
+            self.cells[position].copy_from(self.cells[position - 1])
+        if incoming is not None:
+            self.cells[0].copy_from(incoming)
+        else:
+            self.cells[0].clear()
+        return displaced

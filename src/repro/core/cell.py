@@ -1,0 +1,85 @@
+"""The basic matching cell (Figure 2a/2b).
+
+A cell stores match bits, mask bits, a valid bit and a tag.  Its compare
+logic produces ``match AND valid``.  The two flavours of the paper differ
+only in where the mask comes from:
+
+* ``CellKind.POSTED_RECEIVE`` (Fig. 2a): the mask is *stored* in the cell,
+  because each posted receive carries its own wildcards.
+* ``CellKind.UNEXPECTED`` (Fig. 2b): the mask is an *input*, because the
+  wildcards belong to the receive being posted (the request), not to the
+  stored unexpected-message headers.
+
+Stored data is passed from one cell to the next under shift enables; the
+:class:`~repro.core.block.CellBlock` drives those enables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from repro.core.match import MatchEntry, MatchRequest, matches
+
+
+class CellKind(enum.Enum):
+    """Which ALPU flavour a cell belongs to."""
+
+    POSTED_RECEIVE = "posted_receive"
+    UNEXPECTED = "unexpected"
+
+
+@dataclasses.dataclass
+class Cell:
+    """One match cell.
+
+    An invalid cell can never produce a match (the valid bit is ANDed into
+    the match output in hardware).
+    """
+
+    kind: CellKind
+    bits: int = 0
+    mask: int = 0
+    tag: int = 0
+    valid: bool = False
+
+    # --------------------------------------------------------------- loading
+    def load(self, entry: MatchEntry) -> None:
+        """Latch a new entry into the cell (an INSERT or a shift-in)."""
+        self.bits = entry.bits
+        # the unexpected-message cell has no mask storage (Fig. 2b)
+        self.mask = entry.mask if self.kind is CellKind.POSTED_RECEIVE else 0
+        self.tag = entry.tag
+        self.valid = True
+
+    def clear(self) -> None:
+        """Drop the valid bit (contents are don't-care afterwards)."""
+        self.valid = False
+
+    def copy_from(self, other: "Cell") -> None:
+        """Shift-register transfer: latch the neighbour's stored data."""
+        self.bits = other.bits
+        self.mask = other.mask
+        self.tag = other.tag
+        self.valid = other.valid
+
+    def snapshot(self) -> Optional[MatchEntry]:
+        """The stored entry, or None when invalid (testing/diagnostics)."""
+        if not self.valid:
+            return None
+        return MatchEntry(bits=self.bits, mask=self.mask, tag=self.tag)
+
+    # -------------------------------------------------------------- matching
+    def match(self, request: MatchRequest) -> bool:
+        """Compare logic output: match AND valid.
+
+        For posted-receive cells the stored mask applies; for unexpected
+        cells the request's input mask applies.  (Both are ORed, which is
+        also what a combined Portals-style cell would do: a masked bit from
+        either side is a don't-care.)
+        """
+        if not self.valid:
+            return False
+        effective_mask = self.mask | request.mask
+        return matches(self.bits, effective_mask, request.bits)

@@ -1,0 +1,90 @@
+"""The ALPU command and response protocol (Tables I and II).
+
+Commands flow processor -> ALPU through the command FIFO; responses flow
+back through the result FIFO.  Only INSERT carries parameters.  The paper
+calls the response to START INSERT both "START ACKNOWLEDGE" (Table II) and
+"INSERT ACKNOWLEDGE" (Section IV-C); they are the same response and we use
+the Table II name.
+
+Protocol rules (Section IV-A):
+
+* A START INSERT and its START ACKNOWLEDGE must occur before any INSERT.
+* INSERTs may then be performed until a STOP INSERT.
+* MATCH SUCCESS can occur at any time.
+* MATCH FAILURE cannot occur between a START ACKNOWLEDGE and a STOP
+  INSERT (failures are held for retry until inserts complete).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+
+# ----------------------------------------------------------------- commands
+@dataclasses.dataclass(frozen=True)
+class StartInsert:
+    """Instruct the ALPU to enter insert mode.  Inputs: none."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Insert:
+    """Insert a new entry.  Inputs: match bits, mask bits (optional), tag."""
+
+    match_bits: int
+    mask_bits: int
+    tag: int
+
+
+@dataclasses.dataclass(frozen=True)
+class StopInsert:
+    """Instruct the ALPU to exit insert mode.  Inputs: none."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Reset:
+    """Clear all entries in the ALPU.  Inputs: none."""
+
+
+Command = Union[StartInsert, Insert, StopInsert, Reset]
+
+
+# ---------------------------------------------------------------- responses
+@dataclasses.dataclass(frozen=True)
+class StartAcknowledge:
+    """ALPU has entered insert mode.  Outputs: number of free entries."""
+
+    free_entries: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchSuccess:
+    """Input matched a list item.  Outputs: the tag from the matched item."""
+
+    tag: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchFailure:
+    """Input did not match any list item.  Outputs: none."""
+
+
+Response = Union[StartAcknowledge, MatchSuccess, MatchFailure]
+
+
+#: rendered rows of Table I, used by the table-reproduction benchmark
+TABLE_I_ROWS = [
+    ("START INSERT", "Instruct the ALPU to enter insert mode", "None"),
+    ("INSERT", "Insert a new entry in the ALPU",
+     "Match bits, Mask bits (optional), and tag"),
+    ("STOP INSERT", "Instruct the ALPU to exit insert mode", "None"),
+    ("RESET", "Clear all entries in the ALPU", "None"),
+]
+
+#: rendered rows of Table II
+TABLE_II_ROWS = [
+    ("START ACKNOWLEDGE", "ALPU has entered insert mode",
+     "Number of free entries"),
+    ("MATCH SUCCESS", "Input matched list item", "Tag from list item matched"),
+    ("MATCH FAILURE", "Input did not match list item", "None"),
+]

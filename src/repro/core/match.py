@@ -1,0 +1,152 @@
+"""Match bits, mask bits and the MPI envelope encoding.
+
+MPI matches on the triple ``{context id, source rank, message tag}``.  A
+posted receive must match the context exactly but may *wildcard* the source
+(``MPI_ANY_SOURCE``) and/or the tag (``MPI_ANY_TAG``).  In the ALPU this is
+expressed as ternary matching: every match bit has a mask bit, and masked
+("don't care") positions never affect the comparison:
+
+    match  <=>  ((stored ^ request) & ~mask) == 0      (and the cell is valid)
+
+The paper's prototype uses a 42-bit match width, "adequate to support an
+MPI implementation supporting the full specification on a 32K node
+system", with a mask bit for every match bit (the worst case; also enough
+for Portals).  The default :class:`MatchFormat` splits those 42 bits as
+11-bit context + 15-bit source (32K ranks) + 16-bit tag.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: wildcard sentinels, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG
+ANY_SOURCE: int = -1
+ANY_TAG: int = -1
+
+
+def matches(stored_bits: int, mask_bits: int, request_bits: int) -> bool:
+    """Ternary compare: masked bits are don't-cares (mask bit 1 = ignore)."""
+    return ((stored_bits ^ request_bits) & ~mask_bits) == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchFormat:
+    """Bit-field layout of the match word.
+
+    Fields are packed tag | source | context (context in the low bits).
+    """
+
+    context_bits: int = 11
+    source_bits: int = 15
+    tag_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.context_bits, self.source_bits, self.tag_bits) <= 0:
+            raise ValueError(f"all fields need at least one bit: {self}")
+
+    @property
+    def width(self) -> int:
+        """Total match-word width in bits."""
+        return self.context_bits + self.source_bits + self.tag_bits
+
+    @property
+    def full_mask(self) -> int:
+        """All-ones mask covering the whole match word."""
+        return (1 << self.width) - 1
+
+    # field extents ------------------------------------------------------
+    @property
+    def _source_shift(self) -> int:
+        return self.context_bits
+
+    @property
+    def _tag_shift(self) -> int:
+        return self.context_bits + self.source_bits
+
+    @property
+    def source_field_mask(self) -> int:
+        """Mask bits covering the source field (MPI_ANY_SOURCE)."""
+        return ((1 << self.source_bits) - 1) << self._source_shift
+
+    @property
+    def tag_field_mask(self) -> int:
+        """Mask bits covering the tag field (MPI_ANY_TAG)."""
+        return ((1 << self.tag_bits) - 1) << self._tag_shift
+
+    # ------------------------------------------------------------- packing
+    def pack(self, context: int, source: int, tag: int) -> int:
+        """Pack an explicit (no-wildcard) triple into match bits."""
+        self._check_field("context", context, self.context_bits)
+        self._check_field("source", source, self.source_bits)
+        self._check_field("tag", tag, self.tag_bits)
+        return (
+            context
+            | (source << self._source_shift)
+            | (tag << self._tag_shift)
+        )
+
+    def pack_receive(self, context: int, source: int, tag: int) -> tuple[int, int]:
+        """Pack a posted receive, honouring wildcards.
+
+        ``source=ANY_SOURCE`` / ``tag=ANY_TAG`` set the corresponding mask
+        field (and zero the match field).  Returns ``(bits, mask)``.
+        """
+        mask = 0
+        if source == ANY_SOURCE:
+            mask |= self.source_field_mask
+            source = 0
+        if tag == ANY_TAG:
+            mask |= self.tag_field_mask
+            tag = 0
+        return self.pack(context, source, tag), mask
+
+    def unpack(self, bits: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`pack`; returns ``(context, source, tag)``."""
+        context = bits & ((1 << self.context_bits) - 1)
+        source = (bits >> self._source_shift) & ((1 << self.source_bits) - 1)
+        tag = (bits >> self._tag_shift) & ((1 << self.tag_bits) - 1)
+        return context, source, tag
+
+    def _check_field(self, name: str, value: int, bits: int) -> None:
+        if not 0 <= value < (1 << bits):
+            raise ValueError(
+                f"{name}={value} does not fit in {bits} bits "
+                f"(valid range 0..{(1 << bits) - 1})"
+            )
+
+
+#: the paper's prototype format (42 match bits)
+DEFAULT_FORMAT = MatchFormat()
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchEntry:
+    """A list entry: what gets INSERTed into the ALPU.
+
+    ``tag`` is the software-defined payload returned on MATCH SUCCESS; the
+    recommended use (and ours) is a pointer to the corresponding queue
+    entry in NIC local RAM (the paper uses a 20-bit pointer).
+    """
+
+    bits: int
+    mask: int
+    tag: int
+
+    def matches_request(self, request: "MatchRequest") -> bool:
+        """Ternary compare against a request (both masks honoured)."""
+        mask = self.mask | request.mask
+        return matches(self.bits, mask, request.bits)
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchRequest:
+    """What gets presented to the ALPU's header input.
+
+    For the posted-receive ALPU the request is an incoming message header:
+    explicit bits, ``mask == 0``.  For the unexpected-message ALPU the
+    request is a receive being posted: its wildcards travel *with the
+    request* as input mask bits (the cells there store no masks).
+    """
+
+    bits: int
+    mask: int = 0

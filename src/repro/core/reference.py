@@ -1,0 +1,72 @@
+"""Golden reference: an ordered linear match list.
+
+Every MPI implementation the paper surveys represents the posted-receive
+and unexpected queues as linear lists with first-match-wins semantics.
+:class:`ReferenceMatchList` is that list.  It serves two purposes:
+
+1. **Differential oracle.**  The ALPU, for any interleaving of inserts and
+   matches, must behave exactly like this list.  The hypothesis-based
+   property suite drives both with the same traffic and compares.
+2. **The software queue.**  The baseline NIC firmware and the "portion of
+   the list not yet loaded into the ALPU" in the accelerated firmware both
+   search a structure with exactly these semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.match import MatchEntry, MatchRequest
+
+
+class ReferenceMatchList:
+    """An ordered list with MPI match semantics (oldest entry first)."""
+
+    def __init__(self) -> None:
+        self._entries: List[MatchEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MatchEntry]:
+        return iter(self._entries)
+
+    def append(self, entry: MatchEntry) -> None:
+        """Add a new (youngest) entry at the tail."""
+        self._entries.append(entry)
+
+    def match(self, request: MatchRequest) -> Tuple[Optional[MatchEntry], int]:
+        """Find-and-remove the first (oldest) matching entry.
+
+        Returns ``(entry, entries_traversed)``; ``entry`` is None on a
+        failed match, in which case every entry was traversed.  The
+        traversal count is what the baseline firmware pays for.
+        """
+        for index, entry in enumerate(self._entries):
+            if entry.matches_request(request):
+                del self._entries[index]
+                return entry, index + 1
+        return None, len(self._entries)
+
+    def peek_match(self, request: MatchRequest) -> Tuple[Optional[MatchEntry], int]:
+        """As :meth:`match` but without removing the entry."""
+        for index, entry in enumerate(self._entries):
+            if entry.matches_request(request):
+                return entry, index + 1
+        return None, len(self._entries)
+
+    def remove_by_tag(self, tag: int) -> Optional[MatchEntry]:
+        """Remove the oldest entry with the given tag (ALPU said it matched)."""
+        for index, entry in enumerate(self._entries):
+            if entry.tag == tag:
+                del self._entries[index]
+                return entry
+        return None
+
+    def snapshot(self) -> List[MatchEntry]:
+        """Copy of the entries, oldest first."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()

@@ -1,0 +1,158 @@
+"""Set-associative cache model.
+
+A functional (not cycle-pipelined) cache: each access classifies as hit or
+miss, updates LRU state, and reports any dirty eviction so the memory
+system can charge a write-back.  Latency is *not* decided here -- the
+:class:`~repro.memory.system.MemorySystem` turns hit/miss outcomes into
+cycle counts, keeping policy (timing) separate from mechanism (state).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Table III uses: host L1 64 KB 2-way, host L2 512 KB (we model 8-way),
+    NIC L1 32 KB 64-way.  Line size defaults to 64 bytes throughout.
+    """
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    name: str = "L1"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError(f"invalid cache geometry: {self}")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclasses.dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    #: line address written back to the next level (dirty eviction), if any
+    writeback_line: Optional[int] = None
+    #: line address fetched from the next level on a miss, if any
+    fill_line: Optional[int] = None
+
+
+@dataclasses.dataclass
+class _Line:
+    tag: int
+    dirty: bool = False
+
+
+class Cache:
+    """One level of set-associative cache with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        # each set is an LRU-ordered list: index 0 = LRU, last = MRU
+        self._sets: List[List[_Line]] = [[] for _ in range(config.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------- geometry
+    def line_addr(self, addr: int) -> int:
+        """Line index containing ``addr``."""
+        return addr // self.config.line_bytes
+
+    def _set_index(self, line: int) -> int:
+        return line % self.config.num_sets
+
+    def _tag(self, line: int) -> int:
+        return line // self.config.num_sets
+
+    # ------------------------------------------------------------- accesses
+    def access(self, addr: int, *, write: bool = False) -> AccessResult:
+        """Access one address (classified at line granularity)."""
+        line = self.line_addr(addr)
+        index = self._set_index(line)
+        tag = self._tag(line)
+        cache_set = self._sets[index]
+        for position, entry in enumerate(cache_set):
+            if entry.tag == tag:
+                # hit: move to MRU
+                cache_set.append(cache_set.pop(position))
+                if write:
+                    entry.dirty = True
+                self.hits += 1
+                return AccessResult(hit=True)
+        # miss: allocate (write-allocate policy)
+        self.misses += 1
+        writeback = None
+        if len(cache_set) >= self.config.ways:
+            victim = cache_set.pop(0)
+            if victim.dirty:
+                self.writebacks += 1
+                victim_line = victim.tag * self.config.num_sets + index
+                writeback = victim_line
+        cache_set.append(_Line(tag=tag, dirty=write))
+        return AccessResult(hit=False, writeback_line=writeback, fill_line=line)
+
+    def touch_range(self, addr: int, size: int, *, write: bool = False) -> List[AccessResult]:
+        """Access every line overlapped by ``[addr, addr+size)``."""
+        if size <= 0:
+            return []
+        first = self.line_addr(addr)
+        last = self.line_addr(addr + size - 1)
+        lb = self.config.line_bytes
+        return [
+            self.access(line * lb, write=write) for line in range(first, last + 1)
+        ]
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating presence check (does not update LRU)."""
+        line = self.line_addr(addr)
+        index = self._set_index(line)
+        tag = self._tag(line)
+        return any(entry.tag == tag for entry in self._sets[index])
+
+    def invalidate_all(self) -> int:
+        """Flush without write-back; returns the number of lines dropped."""
+        dropped = sum(len(s) for s in self._sets)
+        self._sets = [[] for _ in range(self.config.num_sets)]
+        return dropped
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def accesses(self) -> int:
+        """Total accesses so far."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when untouched)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    def reset_stats(self) -> None:
+        """Zero the counters (contents untouched)."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0

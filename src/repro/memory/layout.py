@@ -1,0 +1,72 @@
+"""Address-layout helpers.
+
+The simulated firmware does not store real data; what matters for timing is
+*where* its structures live, because the cache and DRAM models key off
+addresses.  :class:`AddressAllocator` is a bump allocator that hands out
+aligned regions, letting the NIC firmware place queue entries at stable,
+realistic addresses (so a long queue genuinely overflows the 32 KB L1 and
+different queues genuinely collide in the cache, reproducing the cache
+cliff of Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a positive power of two: {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class AddressAllocator:
+    """Bump allocator over a flat address space, with named regions."""
+
+    def __init__(self, base: int = 0x10_0000, size: Optional[int] = None) -> None:
+        if base < 0:
+            raise ValueError(f"negative base address {base:#x}")
+        self.base = base
+        self.size = size
+        self._next = base
+        self._regions: Dict[str, tuple[int, int]] = {}
+        self._freelists: Dict[int, list[int]] = {}
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Bytes consumed by the bump pointer (free lists excluded)."""
+        return self._next - self.base
+
+    def alloc(self, size: int, *, alignment: int = 64, label: str = "") -> int:
+        """Allocate ``size`` bytes; returns the base address.
+
+        Reuses a freed block of the exact same size when one is available
+        (matching the free-list behaviour of the paper's C++ firmware,
+        where queue entries are recycled and stay cache-resident).
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive: {size}")
+        freelist = self._freelists.get(size)
+        if freelist:
+            addr = freelist.pop()
+        else:
+            addr = align_up(self._next, alignment)
+            new_next = addr + size
+            if self.size is not None and new_next > self.base + self.size:
+                raise MemoryError(
+                    f"allocator exhausted: need {size} bytes at {addr:#x}, "
+                    f"limit {self.base + self.size:#x}"
+                )
+            self._next = new_next
+        if label:
+            self._regions[label] = (addr, size)
+        return addr
+
+    def free(self, addr: int, size: int) -> None:
+        """Return a block to the size-keyed free list."""
+        self._freelists.setdefault(size, []).append(addr)
+
+    def region(self, label: str) -> tuple[int, int]:
+        """Look up a labelled region as ``(base, size)``."""
+        return self._regions[label]

@@ -1,0 +1,31 @@
+"""Fixed-latency SRAM (the NIC's local scratch memory).
+
+The NIC of Figure 1 has a local SRAM on the processor bus.  Accesses cost a
+fixed number of cycles, independent of address history.
+"""
+
+from __future__ import annotations
+
+
+class Sram:
+    """A flat, fixed-latency memory."""
+
+    def __init__(self, size_bytes: int, access_cycles: int = 2, name: str = "sram") -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"invalid SRAM size {size_bytes}")
+        if access_cycles < 0:
+            raise ValueError(f"negative SRAM latency {access_cycles}")
+        self.size_bytes = size_bytes
+        self.access_cycles = access_cycles
+        self.name = name
+        self.accesses = 0
+
+    def access(self, addr: int) -> int:
+        """Access ``addr``; returns latency in cycles."""
+        if not 0 <= addr < self.size_bytes:
+            raise ValueError(
+                f"{self.name}: address {addr:#x} out of range "
+                f"(size {self.size_bytes:#x})"
+            )
+        self.accesses += 1
+        return self.access_cycles

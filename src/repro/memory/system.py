@@ -1,0 +1,122 @@
+"""The composed memory system: caches over DRAM.
+
+:class:`MemorySystem` turns an address stream into **stall time**.  An
+access returns the picoseconds of stall *beyond* the pipelined L1-hit path
+(an L1 hit costs 0 extra; the per-instruction cost model already covers
+it).  Misses walk the hierarchy: optional L2, then the DRAM path with a
+fixed controller/bus overhead plus the DRAM's row-state-dependent latency.
+Dirty evictions charge a DRAM write-back access, which also perturbs the
+open-row state -- this is the "contention for open rows" effect the paper
+models.
+
+Default calibrations (see :mod:`repro.proc.params`) land the full
+load-to-use path in Table III's bands: 30-32 cycles at 500 MHz for the NIC
+(60-64 ns) and 85-90 cycles at 2 GHz for the host (42.5-45 ns).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.memory.cache import AccessResult, Cache, CacheConfig
+from repro.memory.dram import Dram, DramConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class MemorySystemConfig:
+    """Hierarchy shape and fixed latencies (picoseconds)."""
+
+    l1: CacheConfig
+    l2: Optional[CacheConfig] = None
+    #: stall for an L2 hit (beyond the L1-hit path)
+    l2_hit_ps: int = 6_000
+    #: fixed bus + controller overhead on the DRAM path
+    miss_base_ps: int = 44_000
+    dram: DramConfig = dataclasses.field(default_factory=DramConfig)
+
+    def __post_init__(self) -> None:
+        if self.l2_hit_ps < 0 or self.miss_base_ps < 0:
+            raise ValueError(f"negative latency in {self}")
+
+
+class MemorySystem:
+    """Caches + DRAM for one processor."""
+
+    def __init__(self, config: MemorySystemConfig, name: str = "mem") -> None:
+        self.config = config
+        self.name = name
+        self.l1 = Cache(config.l1)
+        self.l2 = Cache(config.l2) if config.l2 is not None else None
+        self.dram = Dram(config.dram)
+        self.total_stall_ps = 0
+
+    # -------------------------------------------------------------- accesses
+    def access(self, addr: int, size: int = 8, *, write: bool = False) -> int:
+        """Access ``[addr, addr+size)``; returns stall time in ps.
+
+        Every cache line the range overlaps is accessed; stalls add up
+        (the models here never overlap misses -- the PowerPC 440-class NIC
+        core is in-order with a single memory port, and list traversal is a
+        dependent pointer chase anyway).
+        """
+        if size <= 0:
+            raise ValueError(f"access size must be positive: {size}")
+        line = self.l1.config.line_bytes
+        first = addr // line
+        last = (addr + size - 1) // line
+        stall = 0
+        for line_index in range(first, last + 1):
+            stall += self._access_line(line_index * line, write=write)
+        self.total_stall_ps += stall
+        return stall
+
+    def _access_line(self, line_addr: int, *, write: bool) -> int:
+        l1_result = self.l1.access(line_addr, write=write)
+        if l1_result.hit:
+            return 0
+        stall = 0
+        if l1_result.writeback_line is not None:
+            stall += self._writeback(l1_result.writeback_line)
+        if self.l2 is not None:
+            l2_result = self.l2.access(line_addr, write=False)
+            if l2_result.hit:
+                return stall + self.config.l2_hit_ps
+            if l2_result.writeback_line is not None:
+                stall += self._writeback(l2_result.writeback_line)
+        return stall + self.config.miss_base_ps + self.dram.access(line_addr)
+
+    def _writeback(self, victim_line: int) -> int:
+        """Write a dirty victim to the next level.
+
+        With an L2 the write-back is absorbed there (cheap, charged as an
+        L2 hit); without one it goes to DRAM and disturbs the open row.
+        The write-back itself is buffered, so we charge only the DRAM
+        row-state perturbation path at half cost (posted write).
+        """
+        line_bytes = self.l1.config.line_bytes
+        addr = victim_line * line_bytes
+        if self.l2 is not None:
+            self.l2.access(addr, write=True)
+            return 0
+        return self.dram.access(addr) // 2
+
+    # ------------------------------------------------------------ utilities
+    def warm(self, addr: int, size: int) -> None:
+        """Pre-load a range into the caches without charging time."""
+        line = self.l1.config.line_bytes
+        first = addr // line
+        last = (addr + size - 1) // line
+        for line_index in range(first, last + 1):
+            line_addr = line_index * line
+            if self.l2 is not None:
+                self.l2.access(line_addr)
+            self.l1.access(line_addr)
+
+    def reset_stats(self) -> None:
+        """Zero every level's counters (contents untouched)."""
+        self.l1.reset_stats()
+        if self.l2 is not None:
+            self.l2.reset_stats()
+        self.dram.reset_stats()
+        self.total_stall_ps = 0

@@ -1,0 +1,265 @@
+"""MPI_* calls as host-side operations (the Fig. 4 subset).
+
+Each method is a generator driven inside the host program's simulation
+process.  A call charges host-CPU cycles, pushes a command across the
+host->NIC link, and (for the blocking forms) waits for the completion to
+come back.  "The main processor is only required to dispatch message
+requests to the NIC and wait for request completion" (Section V-C).
+
+Wildcards: ``source=ANY_SOURCE`` and/or ``tag=ANY_TAG`` on receives are
+passed through to the NIC, which packs them into ALPU mask bits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.core.match import ANY_SOURCE, ANY_TAG
+from repro.mpi.communicator import COLLECTIVE_CONTEXT, Communicator
+from repro.mpi.request import MpiRequest, MpiStatus, RequestKind
+from repro.nic.host_interface import Completion, PostRecv, PostSend
+from repro.proc.costmodel import HostCostModel
+from repro.sim.process import delay, now, wait_on
+
+
+class MpiError(RuntimeError):
+    """Illegal MPI usage (call before Init, bad rank, ...)."""
+
+
+class MpiProcess:
+    """The MPI library instance bound to one rank's host CPU."""
+
+    def __init__(self, world, rank: int) -> None:
+        # `world` is a repro.mpi.world.MpiWorld; typed loosely (cycle)
+        self.world = world
+        self.rank = rank
+        self.host = world.hosts[rank]
+        self.proc = self.host.proc
+        self.cost: HostCostModel = world.config.host_cost
+        self.comm_world: Communicator = world.comm_world
+        self._req_ids = itertools.count(1)
+        self._inflight: Dict[int, MpiRequest] = {}
+        self._initialized = False
+        self._finalized = False
+        #: host buffer allocator cursor (receives/sends get distinct buffers)
+        self._buffer_cursor = 0x4000_0000 + rank * 0x100_0000
+
+    # ------------------------------------------------------------ lifecycle
+    def init(self):
+        """MPI_Init: bring the library up (charges setup time)."""
+        if self._initialized:
+            raise MpiError("MPI_Init called twice")
+        yield delay(self.proc.compute(10 * self.cost.call_overhead_cycles))
+        self._initialized = True
+
+    def finalize(self):
+        """MPI_Finalize: all outstanding requests must be complete."""
+        self._require_init()
+        pending = [r for r in self._inflight.values() if not r.done]
+        if pending:
+            raise MpiError(
+                f"rank {self.rank}: MPI_Finalize with {len(pending)} "
+                f"incomplete requests"
+            )
+        yield delay(self.proc.compute(4 * self.cost.call_overhead_cycles))
+        self._finalized = True
+
+    # ------------------------------------------------------------- queries
+    def comm_rank(self, comm: Optional[Communicator] = None) -> int:
+        """MPI_Comm_rank (no simulated cost: a local read)."""
+        self._require_init()
+        return self.rank
+
+    def comm_size(self, comm: Optional[Communicator] = None) -> int:
+        """MPI_Comm_size."""
+        self._require_init()
+        return (comm or self.comm_world).size
+
+    # ------------------------------------------------------ point to point
+    def isend(
+        self,
+        dest: int,
+        tag: int,
+        size: int = 0,
+        comm: Optional[Communicator] = None,
+    ):
+        """MPI_Isend: returns an :class:`MpiRequest` (yields sim commands)."""
+        self._require_init()
+        comm = comm or self.comm_world
+        comm.check_rank(dest)
+        if tag < 0:
+            raise MpiError(f"send tag must be non-negative, got {tag}")
+        request = self._new_request(RequestKind.SEND, dest, tag, comm, size)
+        request.posted_at = yield now()
+        yield delay(
+            self.proc.compute(
+                self.cost.call_overhead_cycles + self.cost.command_build_cycles
+            )
+        )
+        self.host.send_command(
+            PostSend(
+                req_id=request.req_id,
+                dest=dest,
+                context=comm.context,
+                tag=tag,
+                size=size,
+                buffer_addr=self._alloc_buffer(size),
+                rank=self.rank,
+            )
+        )
+        return request
+
+    def irecv(
+        self,
+        source: int,
+        tag: int,
+        size: int = 0,
+        comm: Optional[Communicator] = None,
+    ):
+        """MPI_Irecv: source/tag may be ANY_SOURCE/ANY_TAG."""
+        self._require_init()
+        comm = comm or self.comm_world
+        if source != ANY_SOURCE:
+            comm.check_rank(source)
+        if tag < 0 and tag != ANY_TAG:
+            raise MpiError(f"recv tag must be non-negative or ANY_TAG, got {tag}")
+        request = self._new_request(RequestKind.RECV, source, tag, comm, size)
+        request.posted_at = yield now()
+        yield delay(
+            self.proc.compute(
+                self.cost.call_overhead_cycles + self.cost.command_build_cycles
+            )
+        )
+        self.host.send_command(
+            PostRecv(
+                req_id=request.req_id,
+                context=comm.context,
+                source=source,
+                tag=tag,
+                size=size,
+                buffer_addr=self._alloc_buffer(size),
+                rank=self.rank,
+            )
+        )
+        return request
+
+    def wait(self, request: MpiRequest):
+        """MPI_Wait: block until the request's completion arrives."""
+        self._require_init()
+        while not request.done:
+            drained = yield from self._drain_completions()
+            if not request.done and not drained:
+                yield wait_on(self.host.completion_fifo.not_empty)
+        self._inflight.pop(request.req_id, None)
+        return request
+
+    def waitall(self, requests: List[MpiRequest]):
+        """MPI_Waitall (built from MPI_Wait, as in Fig. 4)."""
+        for request in requests:
+            yield from self.wait(request)
+        return requests
+
+    def send(self, dest: int, tag: int, size: int = 0, comm=None):
+        """MPI_Send (built from Isend + Wait)."""
+        request = yield from self.isend(dest, tag, size, comm)
+        yield from self.wait(request)
+        return request
+
+    def recv(self, source: int, tag: int, size: int = 0, comm=None):
+        """MPI_Recv (built from Irecv + Wait)."""
+        request = yield from self.irecv(source, tag, size, comm)
+        yield from self.wait(request)
+        return request
+
+    # ----------------------------------------------------------- collective
+    def barrier(self, comm: Optional[Communicator] = None):
+        """MPI_Barrier: dissemination algorithm on the reserved context.
+
+        ceil(log2(P)) rounds; in round k, send to (rank + 2^k) mod P and
+        receive from (rank - 2^k) mod P.  Tags encode the round so
+        consecutive barriers cannot interfere.
+        """
+        self._require_init()
+        comm = comm or self.comm_world
+        size = comm.size
+        if size == 1:
+            yield delay(self.proc.compute(self.cost.call_overhead_cycles))
+            return
+        collective = Communicator(context=COLLECTIVE_CONTEXT, size=size)
+        round_index = 0
+        distance = 1
+        while distance < size:
+            to = (self.rank + distance) % size
+            frm = (self.rank - distance) % size
+            send_req = yield from self.isend(
+                to, tag=round_index, size=0, comm=collective
+            )
+            recv_req = yield from self.irecv(
+                frm, tag=round_index, size=0, comm=collective
+            )
+            yield from self.wait(recv_req)
+            yield from self.wait(send_req)
+            distance <<= 1
+            round_index += 1
+
+    # ------------------------------------------------------------ internals
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise MpiError("MPI call before MPI_Init")
+        if self._finalized:
+            raise MpiError("MPI call after MPI_Finalize")
+
+    def _new_request(
+        self,
+        kind: RequestKind,
+        peer: int,
+        tag: int,
+        comm: Communicator,
+        size: int,
+    ) -> MpiRequest:
+        request = MpiRequest(
+            req_id=next(self._req_ids),
+            kind=kind,
+            rank=self.rank,
+            peer=peer,
+            tag=tag,
+            context=comm.context,
+            size=size,
+        )
+        self._inflight[request.req_id] = request
+        return request
+
+    def _alloc_buffer(self, size: int) -> int:
+        addr = self._buffer_cursor
+        self._buffer_cursor += max(size, 64)
+        return addr
+
+    def _drain_completions(self):
+        """Consume everything in the completion FIFO; returns the count."""
+        drained = 0
+        while True:
+            completion: Optional[Completion] = self.host.completion_fifo.try_pop()
+            if completion is None:
+                break
+            drained += 1
+            yield delay(
+                self.proc.compute(
+                    self.cost.poll_cycles + self.cost.completion_handle_cycles
+                )
+            )
+            request = self._inflight.get(completion.req_id)
+            if request is None:
+                raise MpiError(
+                    f"rank {self.rank}: completion for unknown request "
+                    f"{completion.req_id}"
+                )
+            request.done = True
+            request.completed_at = yield now()
+            if request.kind is RequestKind.RECV:
+                request.status = MpiStatus(
+                    source=completion.source,
+                    tag=completion.tag,
+                    count=completion.size,
+                )
+        return drained

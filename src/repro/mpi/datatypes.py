@@ -1,0 +1,45 @@
+"""Basic MPI datatypes.
+
+"Only support for basic MPI Datatypes is included" (Section V-C).  A
+datatype here is just a name and an extent; message sizes are
+``count * extent`` bytes, which is all the timing model needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Datatype:
+    """A basic (contiguous) MPI datatype."""
+
+    name: str
+    extent: int
+
+    def __post_init__(self) -> None:
+        if self.extent <= 0:
+            raise ValueError(f"datatype extent must be positive: {self}")
+
+    def size_bytes(self, count: int) -> int:
+        """Message size of ``count`` elements of this type."""
+        if count < 0:
+            raise ValueError(f"negative element count {count}")
+        return count * self.extent
+
+
+MPI_BYTE = Datatype("MPI_BYTE", 1)
+MPI_CHAR = Datatype("MPI_CHAR", 1)
+MPI_INT = Datatype("MPI_INT", 4)
+MPI_FLOAT = Datatype("MPI_FLOAT", 4)
+MPI_DOUBLE = Datatype("MPI_DOUBLE", 8)
+MPI_LONG = Datatype("MPI_LONG", 8)
+
+BASIC_DATATYPES = (
+    MPI_BYTE,
+    MPI_CHAR,
+    MPI_INT,
+    MPI_FLOAT,
+    MPI_DOUBLE,
+    MPI_LONG,
+)

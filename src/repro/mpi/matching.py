@@ -1,0 +1,89 @@
+"""The pure (untimed) model of MPI matching semantics -- the test oracle.
+
+:class:`MatchingOracle` implements Section II exactly, with no hardware,
+no timing, and no queue-length effects:
+
+* incoming messages traverse the posted-receive list (oldest first) and
+  land on the unexpected list if nothing matches;
+* posting a receive first searches the unexpected list (oldest first),
+  atomically, then appends to the posted list;
+* receives match on {context, source, tag} with optional wildcards on
+  source and tag;
+* per (source, context) arrival order is preserved.
+
+Integration and property tests drive a simulated system and this oracle
+with the same traffic and require identical pairings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.core.match import ANY_SOURCE, ANY_TAG
+
+
+@dataclasses.dataclass
+class OracleRecv:
+    """A posted receive in the oracle."""
+
+    recv_id: int
+    context: int
+    source: int  # may be ANY_SOURCE
+    tag: int  # may be ANY_TAG
+
+    def accepts(self, context: int, source: int, tag: int) -> bool:
+        """Would this receive match that envelope?"""
+        if self.context != context:
+            return False
+        if self.source != ANY_SOURCE and self.source != source:
+            return False
+        if self.tag != ANY_TAG and self.tag != tag:
+            return False
+        return True
+
+
+@dataclasses.dataclass
+class OracleMessage:
+    """An arrived message in the oracle."""
+
+    msg_id: int
+    context: int
+    source: int
+    tag: int
+
+
+class MatchingOracle:
+    """Reference matching semantics for one receiving process."""
+
+    def __init__(self) -> None:
+        self.posted: List[OracleRecv] = []
+        self.unexpected: List[OracleMessage] = []
+        #: (recv_id, msg_id) pairs, in pairing order
+        self.pairings: List[Tuple[int, int]] = []
+
+    def message_arrives(self, message: OracleMessage) -> Optional[int]:
+        """An incoming message traverses the posted receive queue.
+
+        Returns the matched recv_id, or None (message became unexpected).
+        """
+        for index, recv in enumerate(self.posted):
+            if recv.accepts(message.context, message.source, message.tag):
+                del self.posted[index]
+                self.pairings.append((recv.recv_id, message.msg_id))
+                return recv.recv_id
+        self.unexpected.append(message)
+        return None
+
+    def post_receive(self, recv: OracleRecv) -> Optional[int]:
+        """Posting a receive searches the unexpected queue atomically.
+
+        Returns the matched msg_id, or None (receive was posted).
+        """
+        for index, message in enumerate(self.unexpected):
+            if recv.accepts(message.context, message.source, message.tag):
+                del self.unexpected[index]
+                self.pairings.append((recv.recv_id, message.msg_id))
+                return message.msg_id
+        self.posted.append(recv)
+        return None

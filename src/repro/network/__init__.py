@@ -1,0 +1,13 @@
+"""Network models: packets, point-to-point wires, and a simple fabric.
+
+Table III specifies a 200 ns network wire latency; the paper's simulation
+adds "components representing a simple network".  We model a full-duplex
+fabric where each NIC has an injection port and packets arrive in order
+per (source, destination) pair -- the ordering MPI's matching semantics
+rely on.
+"""
+
+from repro.network.packet import Packet, PacketKind, HEADER_BYTES
+from repro.network.fabric import Fabric, FabricConfig
+
+__all__ = ["Packet", "PacketKind", "HEADER_BYTES", "Fabric", "FabricConfig"]

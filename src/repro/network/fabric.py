@@ -1,0 +1,104 @@
+"""A simple N-port network fabric.
+
+Every port pair is connected with the Table III wire: 200 ns latency, plus
+serialization at the injection link's bandwidth.  Packets between a given
+(source, destination) pair are delivered in injection order -- the network
+ordering guarantee that MPI's "messages between two nodes in the same
+context arrive in send order" semantics build on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.network.packet import Packet
+from repro.proc.params import NETWORK_WIRE_LATENCY_PS
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.sim.fifo import Fifo
+from repro.sim.link import Link
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricConfig:
+    """Latency/bandwidth of the interconnect."""
+
+    wire_latency_ps: int = NETWORK_WIRE_LATENCY_PS
+    #: injection bandwidth; 0.002 bytes/ps = 2 GB/s (Red Storm class)
+    bandwidth_bytes_per_ps: float = 0.002
+
+
+class Fabric(Component):
+    """N nodes, each with an rx FIFO; per-source-pair ordered delivery."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        num_nodes: int,
+        config: FabricConfig = FabricConfig(),
+        name: str = "fabric",
+    ) -> None:
+        super().__init__(engine, name)
+        if num_nodes <= 0:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        self.config = config
+        self.num_nodes = num_nodes
+        #: one receive FIFO per node; the NIC's Rx side drains it
+        self.rx_fifos: List[Fifo] = [
+            Fifo(name=f"{name}.rx{i}") for i in range(num_nodes)
+        ]
+        #: per-destination delivery callbacks (NICs hook header replication
+        #: to the ALPU and their wakeup kick here)
+        self._rx_callbacks: List[List] = [[] for _ in range(num_nodes)]
+
+        def _notify(dst: int, packet: Packet) -> None:
+            for callback in self._rx_callbacks[dst]:
+                callback(packet)
+
+        # one link per (src, dst) pair: serialization happens at injection,
+        # so back-to-back sends between one pair queue behind each other
+        # while different sources can overlap (a crossbar-like fabric)
+        self._links: List[List[Link]] = [
+            [
+                Link(
+                    engine,
+                    f"{name}.wire{src}->{dst}",
+                    dest=self.rx_fifos[dst],
+                    latency_ps=config.wire_latency_ps,
+                    bandwidth_bytes_per_ps=config.bandwidth_bytes_per_ps,
+                    on_deliver=(lambda d: (lambda pkt: _notify(d, pkt)))(dst),
+                )
+                for dst in range(num_nodes)
+            ]
+            for src in range(num_nodes)
+        ]
+        self._seq: Dict[tuple, int] = {}
+        self.packets_delivered = 0
+
+    def inject(self, packet: Packet) -> Packet:
+        """Send a packet; returns the (sequence-stamped) packet injected."""
+        if not 0 <= packet.src < self.num_nodes:
+            raise ValueError(f"bad source node {packet.src}")
+        if not 0 <= packet.dst < self.num_nodes:
+            raise ValueError(f"bad destination node {packet.dst}")
+        key = (packet.src, packet.dst)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        stamped = dataclasses.replace(packet, seq=seq)
+        self._links[packet.src][packet.dst].send(stamped, stamped.wire_bytes)
+        self.packets_delivered += 1
+        return stamped
+
+    def rx_fifo(self, node: int) -> Fifo:
+        """The receive FIFO the NIC of ``node`` polls."""
+        return self.rx_fifos[node]
+
+    def subscribe_rx(self, node: int, callback) -> None:
+        """Call ``callback(packet)`` whenever a packet lands at ``node``.
+
+        Fires after the packet is pushed into the node's rx FIFO, i.e.
+        hardware-side: the NIC uses this for its wakeup kick and for
+        replicating match headers into the ALPU's header FIFO.
+        """
+        self._rx_callbacks[node].append(callback)

@@ -1,0 +1,55 @@
+"""Packets: headers plus payload descriptors.
+
+A packet's header carries exactly what the receive side needs to run the
+MPI match: the packed {context, source, tag} bits, the payload length and
+protocol bookkeeping.  In a real NIC (Fig. 1) "the header and data are
+separated (logically, if not physically)"; we keep the payload as a size
+only -- the simulation charges time for moving bytes, never the bytes
+themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+#: wire overhead per packet (routing + match header + CRC), in bytes
+HEADER_BYTES = 32
+
+
+class PacketKind(enum.Enum):
+    """Protocol slots used by the MPI implementation."""
+
+    #: eager message: payload travels with the header
+    EAGER = "eager"
+    #: rendezvous request-to-send: header only, payload held at sender
+    RNDV_RTS = "rndv_rts"
+    #: rendezvous clear-to-send: receiver tells sender to stream payload
+    RNDV_CTS = "rndv_cts"
+    #: rendezvous payload
+    RNDV_DATA = "rndv_data"
+
+
+@dataclasses.dataclass(frozen=True)
+class Packet:
+    """One unit of network traffic."""
+
+    kind: PacketKind
+    src: int
+    dst: int
+    #: packed {context, source, tag} match bits (EAGER / RNDV_RTS)
+    match_bits: int
+    #: payload length in bytes (0 for control packets)
+    payload_bytes: int
+    #: sender-side request identifier (rendezvous handshake / completions)
+    send_id: int = 0
+    #: receiver-side entry identifier (CTS and RNDV_DATA routing)
+    recv_id: int = 0
+    #: per-(src, dst) monotone sequence number; lets tests assert ordering
+    seq: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes serialized on the wire."""
+        carries_payload = self.kind in (PacketKind.EAGER, PacketKind.RNDV_DATA)
+        return HEADER_BYTES + (self.payload_bytes if carries_payload else 0)

@@ -1,0 +1,54 @@
+"""The NIC: firmware, queues, DMA engines and the ALPU integration.
+
+The paper's MPI processing happens almost entirely on the NIC (Section
+V-C): the host only dispatches requests and waits for completions.  The
+NIC's embedded processor "continually executes a loop that performs four
+actions: checking the network for new incoming messages; checking for any
+new requests from the main processor; advancing active requests; and
+updating the ALPU."
+
+* :mod:`repro.nic.queues` -- the five firmware linked lists.
+* :mod:`repro.nic.host_interface` -- commands/completions crossing the
+  host-NIC boundary.
+* :mod:`repro.nic.dma` -- Tx/Rx DMA engines.
+* :mod:`repro.nic.alpu_device` -- the ALPU as a bus device: header,
+  command and result FIFOs with event-driven pipeline timing.
+* :mod:`repro.nic.driver` -- the Section IV software heuristics: when to
+  start using the ALPU, batched inserts, result handling, and the
+  software search of the not-yet-inserted list suffix.
+* :mod:`repro.nic.firmware` -- the progress loop, in baseline
+  (list-traversal) and ALPU-accelerated variants.
+* :mod:`repro.nic.nic` -- the assembled NIC.
+"""
+
+from repro.nic.queues import QueueEntry, NicQueue, EntryKind
+from repro.nic.host_interface import (
+    PostRecv,
+    PostSend,
+    Completion,
+    HostCommand,
+)
+from repro.nic.dma import DmaEngine, DmaConfig
+from repro.nic.alpu_device import AlpuDevice
+from repro.nic.driver import AlpuQueueDriver, DriverConfig
+from repro.nic.firmware import NicFirmware, FirmwareConfig
+from repro.nic.nic import Nic, NicConfig
+
+__all__ = [
+    "QueueEntry",
+    "NicQueue",
+    "EntryKind",
+    "PostRecv",
+    "PostSend",
+    "Completion",
+    "HostCommand",
+    "DmaEngine",
+    "DmaConfig",
+    "AlpuDevice",
+    "AlpuQueueDriver",
+    "DriverConfig",
+    "NicFirmware",
+    "FirmwareConfig",
+    "Nic",
+    "NicConfig",
+]

@@ -1,0 +1,532 @@
+"""The NIC firmware progress loop (Section V-C).
+
+"The NIC continually executes a loop that performs four actions: checking
+the network for new incoming messages; checking for any new requests from
+the main processor; advancing active requests; and updating the ALPU."
+
+The same firmware runs in two modes:
+
+* **baseline** -- the posted-receive and unexpected queues are searched by
+  traversing the linked lists, with every entry visit charging compute
+  cycles and a cache-modelled memory access (this is the Red Storm-like
+  NIC of the paper's Figure 5(a,b) and Figure 6 baseline);
+* **ALPU** -- match-relevant headers are replicated to the posted-receive
+  ALPU, posted receives to the unexpected ALPU, and the firmware consumes
+  results through :class:`~repro.nic.driver.AlpuQueueDriver`, falling back
+  to a software search of only the not-yet-inserted suffix on MATCH
+  FAILURE (Section IV-D).
+
+Message protocol: eager for payloads up to ``eager_threshold`` (payload
+travels with the header; unexpected payloads park in NIC memory), and a
+rendezvous RTS/CTS/DATA handshake above it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.core.match import MatchFormat, MatchRequest
+from repro.core.commands import MatchSuccess
+from repro.network.fabric import Fabric
+from repro.network.packet import Packet, PacketKind
+from repro.nic.driver import AlpuQueueDriver
+from repro.nic.host_interface import Completion, PostRecv, PostSend
+from repro.nic.queues import (
+    ENTRY_BYTES,
+    ENTRY_TOUCH_BYTES,
+    EntryKind,
+    NicQueue,
+    QueueEntry,
+)
+from repro.proc.costmodel import NicCostModel
+from repro.sim.process import delay, wait_on
+from repro.sim.units import us
+
+
+@dataclasses.dataclass(frozen=True)
+class FirmwareConfig:
+    """Firmware behaviour knobs."""
+
+    use_alpu: bool = False
+    #: software matching engine: "list" (linear traversal, what every
+    #: surveyed MPI uses) or "hash" (the Section II alternative; only
+    #: meaningful without an ALPU)
+    matching: str = "list"
+    #: eager/rendezvous protocol switch (bytes)
+    eager_threshold: int = 4096
+    #: match-bit packing of the {context, source, tag} triple
+    match_format: MatchFormat = dataclasses.field(default_factory=MatchFormat)
+
+    def __post_init__(self) -> None:
+        if self.matching not in ("list", "hash"):
+            raise ValueError(f"unknown matching engine {self.matching!r}")
+        if self.matching == "hash" and self.use_alpu:
+            raise ValueError("hash matching is a software-only alternative")
+
+
+class NicFirmware:
+    """The progress engine; runs as one simulation process per NIC."""
+
+    def __init__(self, nic) -> None:
+        # `nic` is a repro.nic.nic.Nic; typed loosely to avoid the cycle
+        self.nic = nic
+        self.cfg: FirmwareConfig = nic.config.firmware
+        self.cost: NicCostModel = nic.cost
+        self.proc = nic.proc
+        self.fmt = self.cfg.match_format
+        # the five primary data structures (Section V-C)
+        self.posted_recv_q: NicQueue = nic.posted_recv_q
+        self.unexpected_q: NicQueue = nic.unexpected_q
+        self.send_q: NicQueue = nic.send_q
+        #: active receives awaiting rendezvous data, keyed by entry uid
+        self.active_recv_q: Dict[int, QueueEntry] = {}
+        #: sends awaiting CTS, keyed by send uid
+        self.pending_rndv_sends: Dict[int, Tuple[QueueEntry, int]] = {}
+        self.posted_driver: Optional[AlpuQueueDriver] = nic.posted_driver
+        self.unexpected_driver: Optional[AlpuQueueDriver] = nic.unexpected_driver
+        # the Section II hash-table alternative (software-only)
+        self.posted_hash = None
+        self.unexpected_hash = None
+        if self.cfg.matching == "hash":
+            from repro.nic.hashmatch import HashMatchTable
+
+            self.posted_hash = HashMatchTable(
+                self.fmt, bucket_base_addr=0x80_0000
+            )
+            self.unexpected_hash = HashMatchTable(
+                self.fmt, bucket_base_addr=0x90_0000
+            )
+        # statistics the benchmarks report
+        self.headers_matched = 0
+        self.headers_unexpected = 0
+        self.entries_traversed = 0
+        self.loop_iterations = 0
+        #: (recv host_req_id, sender send uid) in pairing order -- the
+        #: observable record tests compare against the matching oracle
+        self.pairings: list = []
+
+    # ------------------------------------------------------------ main loop
+    def run(self):
+        """The four-action progress loop (Section V-C), forever."""
+        while True:
+            self.loop_iterations += 1
+            progress = False
+            progress |= yield from self._check_network()
+            progress |= yield from self._check_host()
+            progress |= yield from self._advance_active()
+            if self.cfg.use_alpu:
+                progress |= yield from self._update_alpus()
+            if not progress:
+                yield wait_on(self.nic.kick, timeout_ps=us(10))
+
+    # ======================================================== network input
+    def _check_network(self):
+        packet = self.nic.rx_fifo.try_pop()
+        if packet is None:
+            return False
+        yield delay(
+            self.proc.compute(self.cost.poll_cycles + self.cost.header_parse_cycles)
+        )
+        if packet.kind in (PacketKind.EAGER, PacketKind.RNDV_RTS):
+            yield from self._handle_match_packet(packet)
+        elif packet.kind is PacketKind.RNDV_CTS:
+            yield from self._handle_cts(packet)
+        elif packet.kind is PacketKind.RNDV_DATA:
+            yield from self._handle_rndv_data(packet)
+        return True
+
+    def _handle_match_packet(self, packet: Packet):
+        """Run the incoming header against the posted receive queue."""
+        request = MatchRequest(bits=packet.match_bits)
+        if self.cfg.use_alpu:
+            was_replicated = self.nic.posted_pushed_flags.popleft()
+            if was_replicated:
+                entry = yield from self._alpu_match(
+                    self.posted_driver, self.posted_recv_q, request
+                )
+            else:
+                # the driver had replication disabled (queue below the
+                # engagement threshold): plain software matching, with
+                # the ALPU guaranteed empty
+                entry = yield from self._software_search(
+                    self.posted_recv_q, request, suffix_only=False
+                )
+        elif self.posted_hash is not None:
+            entry = yield from self._hash_search(
+                self.posted_hash, self.posted_recv_q, request, incoming=True
+            )
+        else:
+            entry = yield from self._software_search(
+                self.posted_recv_q, request, suffix_only=False
+            )
+        if entry is not None:
+            self.headers_matched += 1
+            self.pairings.append((entry.host_req_id, packet.send_id))
+            yield from self._deliver_to_receive(packet, entry)
+        else:
+            self.headers_unexpected += 1
+            yield from self._enqueue_unexpected(packet)
+
+    def _deliver_to_receive(self, packet: Packet, entry: QueueEntry):
+        """A header matched a posted receive: move the data, complete."""
+        _, source, tag = self.fmt.unpack(packet.match_bits)
+        entry.matched_source = source
+        entry.matched_tag = tag
+        entry.matched_size = packet.payload_bytes
+        if packet.kind is PacketKind.EAGER:
+            yield from self._start_recv_payload(entry, packet.payload_bytes)
+        else:  # RNDV_RTS: grant the sender a clear-to-send
+            yield delay(self.proc.compute(self.cost.rendezvous_cycles))
+            self.active_recv_q[entry.uid] = entry
+            self.nic.inject(
+                Packet(
+                    kind=PacketKind.RNDV_CTS,
+                    src=self.nic.node_id,
+                    dst=packet.src,
+                    match_bits=0,
+                    payload_bytes=0,
+                    send_id=packet.send_id,
+                    recv_id=entry.uid,
+                )
+            )
+
+    def _start_recv_payload(self, entry: QueueEntry, payload_bytes: int):
+        """DMA arrived payload to the host buffer, then complete."""
+        if payload_bytes == 0:
+            yield from self._complete_recv(entry)
+            self._release(entry)
+            return
+        yield delay(self.proc.compute(self.cost.dma_setup_cycles))
+        self.nic.rx_dma.start(payload_bytes, ("recv_done", entry))
+
+    def _complete_recv(self, entry: QueueEntry):
+        """Completion carrying the matched envelope (MPI_Status)."""
+        yield delay(self.proc.compute(self.cost.completion_cycles))
+        link = self.nic.completion_link(self.nic.lproc_of(entry.owner_rank))
+        link.send(
+            Completion(
+                req_id=entry.host_req_id,
+                source=entry.matched_source,
+                tag=entry.matched_tag,
+                size=entry.matched_size,
+            )
+        )
+
+    def _release(self, entry: QueueEntry) -> None:
+        """Return an entry's block to the NIC allocator (any queue)."""
+        if entry.addr:
+            self.nic.allocator.free(entry.addr, ENTRY_BYTES)
+
+    def _enqueue_unexpected(self, packet: Packet):
+        """No posted receive matched: park the header (Section V-C)."""
+        kind = (
+            EntryKind.UNEXPECTED_EAGER
+            if packet.kind is PacketKind.EAGER
+            else EntryKind.UNEXPECTED_RNDV
+        )
+        entry = self.unexpected_q.allocate_entry(
+            kind=kind,
+            bits=packet.match_bits,
+            mask=0,
+            size=packet.payload_bytes,
+            peer_send_id=packet.send_id,
+            src_node=packet.src,
+        )
+        cost = self.proc.compute(self.cost.enqueue_cycles)
+        cost += self.proc.touch(entry.addr, ENTRY_BYTES, write=True)
+        yield delay(cost)
+        self.unexpected_q.append(entry)
+        if self.unexpected_hash is not None:
+            yield from self._charge_op_cost(self.unexpected_hash.insert(entry))
+
+    # ===================================================== rendezvous flows
+    def _handle_cts(self, packet: Packet):
+        """Sender side: receiver granted clear-to-send; stream the data."""
+        record = self.pending_rndv_sends.pop(packet.send_id, None)
+        if record is None:
+            raise RuntimeError(
+                f"nic{self.nic.node_id}: CTS for unknown send {packet.send_id}"
+            )
+        entry, dest = record
+        yield delay(self.proc.compute(self.cost.dma_setup_cycles))
+        data = Packet(
+            kind=PacketKind.RNDV_DATA,
+            src=self.nic.node_id,
+            dst=dest,
+            match_bits=0,
+            payload_bytes=entry.size,
+            send_id=entry.uid,
+            recv_id=packet.recv_id,
+        )
+        self.nic.tx_dma.start(entry.size, ("send_out", data, entry))
+
+    def _handle_rndv_data(self, packet: Packet):
+        """Receiver side: rendezvous payload arrived for an active recv."""
+        entry = self.active_recv_q.pop(packet.recv_id, None)
+        if entry is None:
+            raise RuntimeError(
+                f"nic{self.nic.node_id}: RNDV_DATA for unknown recv "
+                f"{packet.recv_id}"
+            )
+        yield from self._start_recv_payload(entry, packet.payload_bytes)
+
+    # ========================================================== host input
+    def _check_host(self):
+        command = self.nic.host_cmd_fifo.try_pop()
+        if command is None:
+            return False
+        yield delay(self.proc.compute(self.cost.poll_cycles))
+        if isinstance(command, PostRecv):
+            yield from self._post_receive(command)
+        elif isinstance(command, PostSend):
+            yield from self._post_send(command)
+        return True
+
+    def _post_receive(self, command: PostRecv):
+        """Search the unexpected queue, else post (Section II atomicity
+        comes free: this loop is the only matching agent)."""
+        bits, mask = self.fmt.pack_receive(
+            self.nic.effective_context(command.context, command.rank),
+            command.source,
+            command.tag,
+        )
+        request = MatchRequest(bits=bits, mask=mask)
+        if self.cfg.use_alpu:
+            was_replicated = self.nic.unexpected_pushed_flags.popleft()
+            if was_replicated:
+                unexpected = yield from self._alpu_match(
+                    self.unexpected_driver, self.unexpected_q, request
+                )
+            else:
+                unexpected = yield from self._software_search(
+                    self.unexpected_q, request, suffix_only=False
+                )
+        elif self.unexpected_hash is not None:
+            unexpected = yield from self._hash_search(
+                self.unexpected_hash, self.unexpected_q, request, incoming=False
+            )
+        else:
+            unexpected = yield from self._software_search(
+                self.unexpected_q, request, suffix_only=False
+            )
+        if unexpected is not None:
+            self.pairings.append((command.req_id, unexpected.peer_send_id))
+            yield from self._consume_unexpected(command, unexpected)
+            return
+        entry = self.posted_recv_q.allocate_entry(
+            kind=EntryKind.POSTED_RECV,
+            bits=bits,
+            mask=mask,
+            size=command.size,
+            host_req_id=command.req_id,
+            owner_rank=command.rank,
+        )
+        cost = self.proc.compute(self.cost.enqueue_cycles)
+        cost += self.proc.touch(entry.addr, ENTRY_BYTES, write=True)
+        yield delay(cost)
+        self.posted_recv_q.append(entry)
+        if self.posted_hash is not None:
+            yield from self._charge_op_cost(self.posted_hash.insert(entry))
+
+    def _consume_unexpected(self, command: PostRecv, unexpected: QueueEntry):
+        """The posted receive matched an already-arrived message.
+
+        The unexpected entry itself becomes the active receive record; its
+        block is released once the payload lands in the host buffer.
+        """
+        unexpected.host_req_id = command.req_id
+        unexpected.owner_rank = command.rank
+        _, source, tag = self.fmt.unpack(unexpected.bits)
+        unexpected.matched_source = source
+        unexpected.matched_tag = tag
+        unexpected.matched_size = unexpected.size
+        if unexpected.kind is EntryKind.UNEXPECTED_EAGER:
+            # payload is parked in NIC memory; move it to the host buffer
+            yield from self._start_recv_payload(unexpected, unexpected.size)
+        else:  # rendezvous: grant the sender a CTS now
+            yield delay(self.proc.compute(self.cost.rendezvous_cycles))
+            self.active_recv_q[unexpected.uid] = unexpected
+            self.nic.inject(
+                Packet(
+                    kind=PacketKind.RNDV_CTS,
+                    src=self.nic.node_id,
+                    dst=unexpected.src_node,
+                    match_bits=0,
+                    payload_bytes=0,
+                    send_id=unexpected.peer_send_id,
+                    recv_id=unexpected.uid,
+                )
+            )
+
+    def _post_send(self, command: PostSend):
+        # the match word carries the *destination's* folded context and
+        # the sender's global rank as the source field
+        bits = self.fmt.pack(
+            self.nic.effective_context(command.context, command.dest),
+            command.rank,
+            command.tag,
+        )
+        dest_node = self.nic.node_of(command.dest)
+        entry = self.send_q.allocate_entry(
+            kind=EntryKind.SEND,
+            bits=bits,
+            mask=0,
+            size=command.size,
+            host_req_id=command.req_id,
+            owner_rank=command.rank,
+        )
+        cost = self.proc.compute(self.cost.enqueue_cycles)
+        cost += self.proc.touch(entry.addr, ENTRY_BYTES, write=True)
+        yield delay(cost)
+        self.send_q.append(entry)
+        if command.size <= self.cfg.eager_threshold:
+            packet = Packet(
+                kind=PacketKind.EAGER,
+                src=self.nic.node_id,
+                dst=dest_node,
+                match_bits=bits,
+                payload_bytes=command.size,
+                send_id=entry.uid,
+            )
+            if command.size == 0:
+                self.nic.inject(packet)
+                yield from self._complete_to_host(command.req_id, command.rank)
+                self.send_q.remove(entry)
+                self._release(entry)
+            else:
+                yield delay(self.proc.compute(self.cost.dma_setup_cycles))
+                self.nic.tx_dma.start(command.size, ("send_out", packet, entry))
+        else:
+            self.pending_rndv_sends[entry.uid] = (entry, dest_node)
+            self.nic.inject(
+                Packet(
+                    kind=PacketKind.RNDV_RTS,
+                    src=self.nic.node_id,
+                    dst=dest_node,
+                    match_bits=bits,
+                    payload_bytes=command.size,
+                    send_id=entry.uid,
+                )
+            )
+
+    # ===================================================== active requests
+    def _advance_active(self):
+        """Drain DMA completions: inject fetched sends, complete receives."""
+        progress = False
+        for dma in (self.nic.tx_dma, self.nic.rx_dma):
+            while dma.completed:
+                cookie = dma.completed.popleft()
+                progress = True
+                yield delay(self.proc.compute(self.cost.poll_cycles))
+                if cookie[0] == "send_out":
+                    _, packet, entry = cookie
+                    self.nic.inject(packet)
+                    yield from self._complete_to_host(
+                        entry.host_req_id, entry.owner_rank
+                    )
+                    self.send_q.remove(entry)
+                    self._release(entry)
+                elif cookie[0] == "recv_done":
+                    entry = cookie[1]
+                    yield from self._complete_recv(entry)
+                    self._release(entry)
+                else:  # pragma: no cover - cookie protocol violation
+                    raise RuntimeError(f"unknown DMA cookie {cookie!r}")
+        return progress
+
+    def _complete_to_host(self, req_id: int, owner_rank: int = 0):
+        yield delay(self.proc.compute(self.cost.completion_cycles))
+        link = self.nic.completion_link(self.nic.lproc_of(owner_rank))
+        link.send(Completion(req_id=req_id))
+
+    # ========================================================= ALPU updates
+    def _update_alpus(self):
+        moved = 0
+        moved += yield from self.posted_driver.update()
+        moved += yield from self.unexpected_driver.update()
+        return moved > 0
+
+    # ===================================================== matching engines
+    def _alpu_match(
+        self,
+        driver: AlpuQueueDriver,
+        queue: NicQueue,
+        request: MatchRequest,
+    ):
+        """Section IV-D result handling: ALPU response, then the software
+        suffix on MATCH FAILURE."""
+        # "the processor should first retrieve the copy of the data
+        # provided to it and then retrieve the response": one bus read for
+        # the replicated header copy, then the result-FIFO read
+        yield delay(driver.device.bus_latency_ps)
+        response = yield from driver.read_result()
+        yield delay(self.proc.compute(self.cost.alpu_result_handle_cycles))
+        if isinstance(response, MatchSuccess):
+            entry = driver.take_matched_entry(response)
+            queue.remove(entry)
+            # the matched entry's request state lives in its second line
+            yield delay(
+                self.proc.compute(self.cost.dequeue_cycles)
+                + self.proc.touch(entry.addr + 64, 64)
+            )
+            return entry
+        entry = yield from self._software_search(queue, request, suffix_only=True)
+        if entry is not None:
+            driver.forget_software_removal(entry)
+        return entry
+
+    def _charge_op_cost(self, op_cost):
+        """Charge a hash-engine OpCost: cycles plus cache-modelled lines."""
+        total = self.proc.compute(op_cost.cycles)
+        for addr, size, write in op_cost.touches:
+            total += self.proc.touch(addr, size, write=write)
+        if total:
+            yield delay(total)
+
+    def _hash_search(self, table, queue: NicQueue, request: MatchRequest, *,
+                     incoming: bool):
+        """Search via the Section II hash alternative, charging its costs."""
+        if incoming:
+            entry, op_cost = table.match_incoming(request)
+        else:
+            entry, op_cost = table.match_posted_receive(request)
+        self.entries_traversed += sum(
+            1 for _ in op_cost.touches
+        )  # lines examined, the comparable traversal metric
+        yield from self._charge_op_cost(op_cost)
+        if entry is not None:
+            queue.remove(entry)
+            yield delay(
+                self.proc.compute(self.cost.dequeue_cycles)
+                + self.proc.touch(entry.addr + 64, 64, write=True)
+            )
+        return entry
+
+    def _software_search(
+        self,
+        queue: NicQueue,
+        request: MatchRequest,
+        *,
+        suffix_only: bool,
+    ):
+        """Linear traversal with per-entry compute + cache charges."""
+        entries = queue.software_suffix() if suffix_only else queue.entries
+        cost = 0
+        found = None
+        for entry in entries:
+            cost += self.proc.compute(self.cost.entry_compare_cycles)
+            cost += self.proc.touch(entry.addr, ENTRY_TOUCH_BYTES)
+            self.entries_traversed += 1
+            if entry.matches(request):
+                found = entry
+                break
+        if cost:
+            yield delay(cost)
+        if found is not None:
+            queue.remove(found)
+            yield delay(
+                self.proc.compute(self.cost.dequeue_cycles)
+                + self.proc.touch(found.addr + 64, 64, write=True)
+            )
+        return found

@@ -1,0 +1,274 @@
+"""The assembled NIC (Figure 1).
+
+One :class:`Nic` bundles the embedded processor (500 MHz, 32 KB L1), local
+memory allocator, Tx/Rx DMA engines, the host command/completion links,
+and -- when enabled -- the two ALPU devices (posted-receive and
+unexpected-message) with their drivers, all hanging off the 20 ns local
+bus.  Hardware-side header replication is wired here:
+
+* match-relevant packets (EAGER / RNDV_RTS) are copied into the
+  posted-receive ALPU's header FIFO the moment they arrive;
+* PostRecv commands are copied into the unexpected ALPU's header FIFO
+  (with their wildcard mask as the input mask) the moment they arrive.
+
+Neither copy costs the processor anything; that decoupling is the point
+of the added FIFOs in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Optional
+
+from repro.core.alpu import AlpuConfig
+from repro.core.cell import CellKind
+from repro.core.match import MatchRequest
+from repro.core.pipeline import AlpuTimingModel
+from repro.memory.layout import AddressAllocator
+from repro.network.fabric import Fabric
+from repro.network.packet import Packet, PacketKind
+from repro.nic.alpu_device import AlpuDevice
+from repro.nic.dma import DmaConfig, DmaEngine
+from repro.nic.driver import AlpuQueueDriver, DriverConfig
+from repro.nic.firmware import FirmwareConfig, NicFirmware
+from repro.nic.host_interface import HOST_NIC_LATENCY_PS, PostRecv
+from repro.nic.queues import NicQueue
+from repro.proc.costmodel import NicCostModel
+from repro.proc.params import NIC_PARAMS, make_nic_memory
+from repro.proc.processor import Processor
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.sim.fifo import Fifo
+from repro.sim.link import Link
+from repro.sim.process import Process
+from repro.sim.signal import Signal
+
+
+@dataclasses.dataclass(frozen=True)
+class NicConfig:
+    """Everything configurable about one NIC."""
+
+    firmware: FirmwareConfig = dataclasses.field(default_factory=FirmwareConfig)
+    #: geometry of the posted-receive ALPU (None = per-kind default)
+    alpu_posted: Optional[AlpuConfig] = None
+    #: geometry of the unexpected-message ALPU
+    alpu_unexpected: Optional[AlpuConfig] = None
+    alpu_timing: AlpuTimingModel = dataclasses.field(default_factory=AlpuTimingModel)
+    posted_driver: DriverConfig = dataclasses.field(default_factory=DriverConfig)
+    unexpected_driver: DriverConfig = dataclasses.field(default_factory=DriverConfig)
+    dma: DmaConfig = dataclasses.field(default_factory=DmaConfig)
+    cost: NicCostModel = dataclasses.field(default_factory=NicCostModel)
+    #: MPI processes sharing this NIC (the paper's footnote 1: "extending
+    #: it to support a limited number of processes is straightforward").
+    #: With more than one, the NIC folds each local process id into the
+    #: context field of the match word, so co-located processes share the
+    #: queues and the ALPUs without ever cross-matching.
+    ranks_per_node: int = 1
+
+    @staticmethod
+    def baseline() -> "NicConfig":
+        """The Red Storm-like NIC: embedded processor only."""
+        return NicConfig(firmware=FirmwareConfig(use_alpu=False))
+
+    @staticmethod
+    def with_alpu(total_cells: int = 256, block_size: int = 16) -> "NicConfig":
+        """A NIC with posted-receive and unexpected ALPUs of equal size."""
+        return NicConfig(
+            firmware=FirmwareConfig(use_alpu=True),
+            alpu_posted=AlpuConfig(
+                kind=CellKind.POSTED_RECEIVE,
+                total_cells=total_cells,
+                block_size=block_size,
+            ),
+            alpu_unexpected=AlpuConfig(
+                kind=CellKind.UNEXPECTED,
+                total_cells=total_cells,
+                block_size=block_size,
+            ),
+        )
+
+
+class Nic(Component):
+    """One network interface with its firmware process."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: int,
+        fabric: Fabric,
+        host_completion_fifo: Fifo,
+        config: NicConfig = NicConfig(),
+    ) -> None:
+        super().__init__(engine, f"nic{node_id}")
+        self.node_id = node_id
+        self.fabric = fabric
+        self.config = config
+        self.cost = config.cost
+        self.proc = Processor(
+            engine, f"{self.name}.proc", NIC_PARAMS.clock_hz, make_nic_memory()
+        )
+        self.allocator = AddressAllocator(base=0x10_0000)
+        #: anything-to-do wakeup for the firmware loop
+        self.kick = Signal(f"{self.name}.kick")
+
+        # the five primary data structures live in NIC memory
+        self.posted_recv_q = NicQueue(f"{self.name}.postedRecvQ", self.allocator)
+        self.unexpected_q = NicQueue(f"{self.name}.unexpectedQ", self.allocator)
+        self.send_q = NicQueue(f"{self.name}.sendQ", self.allocator)
+
+        # network side
+        self.rx_fifo = fabric.rx_fifo(node_id)
+        fabric.subscribe_rx(node_id, self._on_packet_arrival)
+
+        # DMA engines (Fig. 1: logically separate Tx and Rx)
+        self.tx_dma = DmaEngine(engine, f"{self.name}.txdma", config.dma)
+        self.rx_dma = DmaEngine(engine, f"{self.name}.rxdma", config.dma)
+        self.tx_dma.done.observe(self.kick.pulse)
+        self.rx_dma.done.observe(self.kick.pulse)
+
+        # host side: commands arrive here; completions leave through one
+        # link per local process (lproc 0 attaches at construction)
+        self.host_cmd_fifo: Fifo = Fifo(name=f"{self.name}.hostcmd")
+        self.host_completion_link = Link(
+            engine,
+            f"{self.name}.completions",
+            dest=host_completion_fifo,
+            latency_ps=HOST_NIC_LATENCY_PS,
+        )
+        self._completion_links = {0: self.host_completion_link}
+
+        # the ALPUs and their drivers
+        self.posted_device: Optional[AlpuDevice] = None
+        self.unexpected_device: Optional[AlpuDevice] = None
+        self.posted_driver: Optional[AlpuQueueDriver] = None
+        self.unexpected_driver: Optional[AlpuQueueDriver] = None
+        if config.firmware.use_alpu:
+            posted_cfg = config.alpu_posted or AlpuConfig(
+                kind=CellKind.POSTED_RECEIVE
+            )
+            unexpected_cfg = config.alpu_unexpected or AlpuConfig(
+                kind=CellKind.UNEXPECTED
+            )
+            self.posted_device = AlpuDevice(
+                engine, f"{self.name}.alpu.posted", posted_cfg, config.alpu_timing
+            )
+            self.unexpected_device = AlpuDevice(
+                engine,
+                f"{self.name}.alpu.unexpected",
+                unexpected_cfg,
+                config.alpu_timing,
+            )
+            self.posted_driver = AlpuQueueDriver(
+                self.posted_device,
+                self.posted_recv_q,
+                self.proc,
+                self.cost,
+                config.posted_driver,
+            )
+            self.unexpected_driver = AlpuQueueDriver(
+                self.unexpected_device,
+                self.unexpected_q,
+                self.proc,
+                self.cost,
+                config.unexpected_driver,
+            )
+
+        # per-arrival records of whether the hardware replicated the
+        # header into each ALPU (aligned FIFO-for-FIFO with the packets /
+        # commands the firmware will process; needed because the driver
+        # can disable replication while the queue is short)
+        self.posted_pushed_flags = deque()
+        self.unexpected_pushed_flags = deque()
+
+        self.firmware = NicFirmware(self)
+        self._proc = Process(engine, self.firmware.run(), name=f"{self.name}.fw")
+
+    # -------------------------------------------------------- hardware hooks
+    def _on_packet_arrival(self, packet: Packet) -> None:
+        """Hardware actions at packet delivery (no processor involvement)."""
+        if self.posted_device is not None and packet.kind in (
+            PacketKind.EAGER,
+            PacketKind.RNDV_RTS,
+        ):
+            pushed = self.posted_device.hw_delivery_enabled
+            if pushed:
+                self.posted_device.hw_push_header(
+                    MatchRequest(bits=packet.match_bits)
+                )
+            self.posted_pushed_flags.append(pushed)
+        self.kick.pulse()
+
+    def deliver_host_command(self, command) -> None:
+        """Called by the host->NIC link when a command lands."""
+        if self.unexpected_device is not None and isinstance(command, PostRecv):
+            pushed = self.unexpected_device.hw_delivery_enabled
+            if pushed:
+                fmt = self.config.firmware.match_format
+                bits, mask = fmt.pack_receive(
+                    self.effective_context(command.context, command.rank),
+                    command.source,
+                    command.tag,
+                )
+                self.unexpected_device.hw_push_header(
+                    MatchRequest(bits=bits, mask=mask)
+                )
+            self.unexpected_pushed_flags.append(pushed)
+        self.kick.pulse()
+
+    def inject(self, packet: Packet) -> None:
+        """Hand a packet to the Tx FIFO / wire."""
+        self.fabric.inject(packet)
+
+    # ------------------------------------------------------- multi-process
+    #: context-field bits below the folded local process id
+    PID_CONTEXT_SHIFT = 8
+
+    def attach_completion_fifo(self, lproc: int, fifo: Fifo) -> None:
+        """Attach one more local process's completion path (lproc > 0)."""
+        if not 0 < lproc < self.config.ranks_per_node:
+            raise ValueError(f"bad local process id {lproc}")
+        self._completion_links[lproc] = Link(
+            self.engine,
+            f"{self.name}.completions{lproc}",
+            dest=fifo,
+            latency_ps=HOST_NIC_LATENCY_PS,
+        )
+
+    def completion_link(self, lproc: int) -> Link:
+        """The completion link of one local process."""
+        return self._completion_links[lproc]
+
+    def lproc_of(self, rank: int) -> int:
+        """Local process index of a global rank (on whichever node).
+
+        The world maps rank r to node ``r // ranks_per_node``, local
+        process ``r % ranks_per_node``; senders use this to fold the
+        *destination's* process id into outgoing match bits.
+        """
+        return rank % self.config.ranks_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting a global rank."""
+        return rank // self.config.ranks_per_node
+
+    def effective_context(self, context: int, owner_rank: int) -> int:
+        """Fold the owner's local process id into the context field.
+
+        With one process per node this is the identity.  With several,
+        the id occupies the context field's high bits -- the "straight-
+        forward" hardware extension of the paper's footnote 1: the same
+        cells and the same compare logic, with part of the match word
+        spent on process isolation.
+        """
+        rpn = self.config.ranks_per_node
+        if rpn == 1:
+            return context
+        lproc = self.lproc_of(owner_rank)
+        limit = 1 << self.PID_CONTEXT_SHIFT
+        if context >= limit:
+            raise ValueError(
+                f"context {context} needs the bits reserved for process "
+                f"ids (< {limit} with ranks_per_node={rpn})"
+            )
+        return context + (lproc << self.PID_CONTEXT_SHIFT)

@@ -1,0 +1,150 @@
+"""The firmware's queue data structures.
+
+"The primary data structures are a series of linked lists to contain
+requests and the state required to advance them" (Section V-C):
+postedRecvQ, activeRecvQ, unexpectedQ, unexpectedActiveQ and sendQ, all
+resident in NIC memory.
+
+Entries occupy real (simulated) addresses so traversals produce genuine
+cache behaviour: each entry is a 128-byte block whose *first* cache line
+holds the envelope and next pointer (touched by every traversal step) and
+whose second line holds request state (touched only when the entry
+matches or is being advanced).  Entries are recycled through the
+allocator's free list, as the C++ firmware's allocator would, keeping a
+steady-state queue at stable addresses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import Iterator, List, Optional
+
+from repro.core.match import MatchEntry, MatchRequest
+from repro.memory.layout import AddressAllocator
+
+
+class EntryKind(enum.Enum):
+    """What a queue entry represents."""
+
+    POSTED_RECV = "posted_recv"
+    UNEXPECTED_EAGER = "unexpected_eager"
+    UNEXPECTED_RNDV = "unexpected_rndv"
+    SEND = "send"
+
+
+_entry_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class QueueEntry:
+    """One list entry in NIC memory."""
+
+    kind: EntryKind
+    #: packed {context, source, tag} match bits
+    bits: int
+    #: wildcard mask (posted receives only; 0 for headers)
+    mask: int
+    #: base address of this entry's 128-byte block in NIC memory
+    addr: int
+    #: payload length in bytes
+    size: int
+    #: host-side request id (posted receives and sends)
+    host_req_id: int = 0
+    #: global rank that owns this request (completion routing when
+    #: several processes share the NIC)
+    owner_rank: int = 0
+    #: peer's send id (unexpected entries: needed for the rendezvous CTS)
+    peer_send_id: int = 0
+    #: source node of an unexpected message
+    src_node: int = 0
+    #: matched message envelope, filled at pairing time so the receive's
+    #: completion can report MPI_Status to the host
+    matched_source: int = -1
+    matched_tag: int = -1
+    matched_size: int = 0
+    #: unique id; doubles as the ALPU tag via the driver's tag table
+    uid: int = dataclasses.field(default_factory=lambda: next(_entry_ids))
+
+    def as_match_entry(self) -> MatchEntry:
+        """The ALPU/list view of this entry (tag = uid)."""
+        return MatchEntry(bits=self.bits, mask=self.mask, tag=self.uid)
+
+    def matches(self, request: MatchRequest) -> bool:
+        """Ternary compare against a request (wildcards honoured)."""
+        return self.as_match_entry().matches_request(request)
+
+
+#: per-entry footprint in NIC memory (two cache lines)
+ENTRY_BYTES = 128
+#: bytes read per traversal step (envelope + next pointer: one line)
+ENTRY_TOUCH_BYTES = 64
+
+
+class NicQueue:
+    """An ordered list of entries with an ALPU-loaded prefix.
+
+    The first ``alpu_count`` entries (the *oldest*) are mirrored in the
+    ALPU; the suffix is software-only.  "A pointer is kept to indicate
+    which portions of the postedRecvQ and unexpectedQ have been
+    transferred to the ALPU and which have not" -- ``alpu_count`` is that
+    pointer.
+    """
+
+    def __init__(self, name: str, allocator: AddressAllocator) -> None:
+        self.name = name
+        self.allocator = allocator
+        self.entries: List[QueueEntry] = []
+        self.alpu_count = 0
+        self.max_length = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[QueueEntry]:
+        return iter(self.entries)
+
+    # ------------------------------------------------------------ mutation
+    def allocate_entry(
+        self,
+        kind: EntryKind,
+        bits: int,
+        mask: int,
+        size: int,
+        **fields,
+    ) -> QueueEntry:
+        """Carve an entry block out of NIC memory (recycled when possible)."""
+        addr = self.allocator.alloc(ENTRY_BYTES, alignment=ENTRY_BYTES)
+        entry = QueueEntry(
+            kind=kind, bits=bits, mask=mask, addr=addr, size=size, **fields
+        )
+        return entry
+
+    def append(self, entry: QueueEntry) -> None:
+        """Link an entry at the tail (the youngest end)."""
+        self.entries.append(entry)
+        self.max_length = max(self.max_length, len(self.entries))
+
+    def remove(self, entry: QueueEntry) -> None:
+        """Unlink an entry; adjusts the ALPU-prefix pointer if needed."""
+        index = self.entries.index(entry)
+        del self.entries[index]
+        if index < self.alpu_count:
+            self.alpu_count -= 1
+
+    def release(self, entry: QueueEntry) -> None:
+        """Return the entry's block to the allocator free list."""
+        self.allocator.free(entry.addr, ENTRY_BYTES)
+
+    # ------------------------------------------------------------- lookups
+    def software_suffix(self) -> List[QueueEntry]:
+        """Entries not (yet) mirrored in the ALPU."""
+        return self.entries[self.alpu_count:]
+
+    def find_by_uid(self, uid: int) -> Optional[QueueEntry]:
+        """Linear lookup by unique id (diagnostics only)."""
+        for entry in self.entries:
+            if entry.uid == uid:
+                return entry
+        return None

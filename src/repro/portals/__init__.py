@@ -1,0 +1,25 @@
+"""A Portals-style matching interface on the ALPU (Section VIII).
+
+The paper's future work: "Another area of research will focus on how to
+offload significant portions of the Portals interface to enable support
+of MPI, run-time software, and I/O."  Portals 3.0 [17, 22, 23] is the
+protocol-building-block layer under the Red Storm MPI; its match list
+entries carry *64-bit match bits with per-bit ignore bits* -- exactly the
+full-width ternary matching the ALPU's cells were sized for ("The set of
+match bits can range from a pair of bits ... to a full width mask as is
+needed by the Portals interface").
+
+:class:`~repro.portals.table.PortalTable` implements the match-list
+subset that MPI and friends sit on: ordered match entries with ignore
+bits, use-once vs persistent entries, and first-match-wins traversal --
+with interchangeable software (linear list) and ALPU backends that tests
+hold differentially equal.
+"""
+
+from repro.portals.table import (
+    MatchListEntry,
+    PortalTable,
+    PORTALS_MATCH_WIDTH,
+)
+
+__all__ = ["MatchListEntry", "PortalTable", "PORTALS_MATCH_WIDTH"]

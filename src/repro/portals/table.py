@@ -1,0 +1,185 @@
+"""Portals-style match lists, software and ALPU-backed.
+
+The subset modelled here is the matching core of Portals 3.0's match
+list:
+
+* each **match list entry** (ME) carries 64 match bits and 64 *ignore*
+  bits (1 = don't care), plus a user pointer (here: any Python object);
+* an incoming operation carries 64 match bits; it matches the *first*
+  entry in list order whose non-ignored bits agree;
+* entries are ``use_once`` (unlinked by a match -- MPI receives) or
+  ``persistent`` (stay linked -- e.g. an unexpected-message overflow ME
+  or an I/O doorbell).
+
+The ALPU backend maps MEs straight onto cells (ignore bits are the mask
+bits) and handles the one wrinkle the hardware does not do natively:
+persistent entries.  The ALPU always deletes on match, so the backend
+re-inserts a matched persistent entry -- *at the tail*, which would break
+Portals ordering if an equal-priority duplicate existed; it therefore
+re-inserts the whole ALPU-resident suffix after it, preserving list
+order exactly.  (In a real design this is the kind of policy the paper
+leaves to "the processor [which] should maintain a copy of each list".)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, List, Optional
+
+from repro.core.alpu import Alpu, AlpuConfig
+from repro.core.cell import CellKind
+from repro.core.commands import (
+    Insert,
+    MatchSuccess,
+    Reset,
+    StartInsert,
+    StopInsert,
+)
+from repro.core.match import MatchRequest
+
+#: Portals match/ignore width
+PORTALS_MATCH_WIDTH = 64
+
+_me_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class MatchListEntry:
+    """One Portals ME."""
+
+    match_bits: int
+    ignore_bits: int = 0
+    use_once: bool = True
+    user_ptr: Any = None
+    me_id: int = dataclasses.field(default_factory=lambda: next(_me_ids))
+
+    def __post_init__(self) -> None:
+        limit = 1 << PORTALS_MATCH_WIDTH
+        if not 0 <= self.match_bits < limit or not 0 <= self.ignore_bits < limit:
+            raise ValueError("match/ignore bits exceed the 64-bit Portals width")
+
+    def accepts(self, bits: int) -> bool:
+        """Ternary compare: ignored bits are don't-cares."""
+        return ((self.match_bits ^ bits) & ~self.ignore_bits) == 0
+
+
+class PortalTable:
+    """An ordered Portals match list.
+
+    Parameters
+    ----------
+    backend:
+        ``"software"`` (linear list) or ``"alpu"`` (a 64-bit-wide
+        posted-receive-flavour ALPU mirrors the list; the software copy
+        remains authoritative, as Section IV-B prescribes).
+    """
+
+    def __init__(self, backend: str = "software", *, alpu_cells: int = 128) -> None:
+        if backend not in ("software", "alpu"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self._entries: List[MatchListEntry] = []
+        self._alpu: Optional[Alpu] = None
+        self._tags: dict[int, MatchListEntry] = {}
+        if backend == "alpu":
+            self._alpu = Alpu(
+                AlpuConfig(
+                    kind=CellKind.POSTED_RECEIVE,
+                    total_cells=alpu_cells,
+                    block_size=16,
+                    match_width=PORTALS_MATCH_WIDTH,
+                    tag_width=16,
+                )
+            )
+
+    # ------------------------------------------------------------- list ops
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[MatchListEntry]:
+        """Copy of the list, first-match-priority order."""
+        return list(self._entries)
+
+    def append(self, entry: MatchListEntry) -> None:
+        """Link an ME at the tail of the match list."""
+        if self._alpu is not None and len(self._entries) >= self._alpu.capacity:
+            raise RuntimeError(
+                "ALPU-backed portal table is full; a real implementation "
+                "would overflow to a software suffix (see repro.nic.driver)"
+            )
+        self._entries.append(entry)
+        if self._alpu is not None:
+            self._hw_insert([entry])
+
+    def unlink(self, entry: MatchListEntry) -> None:
+        """Explicitly unlink an ME (PtlMEUnlink)."""
+        self._entries.remove(entry)
+        if self._alpu is not None:
+            self._hw_rebuild()
+
+    # ------------------------------------------------------------- matching
+    def deliver(self, match_bits: int) -> Optional[MatchListEntry]:
+        """An incoming operation traverses the list; returns the ME hit.
+
+        ``use_once`` winners are unlinked; persistent winners stay, in
+        place.
+        """
+        if self._alpu is None:
+            return self._deliver_software(match_bits)
+        return self._deliver_alpu(match_bits)
+
+    def _deliver_software(self, match_bits: int) -> Optional[MatchListEntry]:
+        for entry in self._entries:
+            if entry.accepts(match_bits):
+                if entry.use_once:
+                    self._entries.remove(entry)
+                return entry
+        return None
+
+    def _deliver_alpu(self, match_bits: int) -> Optional[MatchListEntry]:
+        responses = self._alpu.present_header(MatchRequest(bits=match_bits))
+        assert len(responses) == 1
+        response = responses[0]
+        if not isinstance(response, MatchSuccess):
+            return None
+        matched = self._tag_entry(response.tag)
+        if matched.use_once:
+            # the hardware already deleted the cell; retire the software
+            # copy and the tag
+            self._entries.remove(matched)
+            del self._tags[response.tag]
+        else:
+            # persistent ME: the ALPU's delete-on-match removed it, and a
+            # plain tail re-insert would put it *behind* younger entries.
+            # Rebuild the mirror in list order (the software copy is
+            # authoritative, Section IV-B).
+            self._hw_rebuild()
+        return matched
+
+    # ----------------------------------------------------------- ALPU mirror
+    def _hw_insert(self, entries: List[MatchListEntry]) -> None:
+        self._alpu.submit(StartInsert())
+        for entry in entries:
+            tag = entry.me_id % (1 << 16)
+            self._tags[tag] = entry
+            self._alpu.submit(
+                Insert(
+                    match_bits=entry.match_bits,
+                    mask_bits=entry.ignore_bits,
+                    tag=tag,
+                )
+            )
+        self._alpu.submit(StopInsert())
+
+    def _hw_rebuild(self) -> None:
+        """Re-mirror the whole list (unlink / persistent-match repair)."""
+        self._alpu.submit(Reset())
+        self._tags.clear()
+        self._hw_insert(self._entries)
+
+    def _tag_entry(self, tag: int) -> MatchListEntry:
+        entry = self._tags.get(tag)
+        if entry is None:  # pragma: no cover - mirror desync would be a bug
+            raise KeyError(f"ALPU returned unknown tag {tag}")
+        return entry

@@ -1,0 +1,68 @@
+"""Per-primitive cycle charges for the two processors.
+
+The cost model assigns a cycle count to each *firmware-level* primitive
+(parse a header, compare one queue entry, issue a bus transaction, set up
+a DMA, ...).  Cycle counts reflect the Table III issue widths: the NIC
+core is dual-issue for integer work, so a ~15-instruction compare-and-
+advance loop body retires in ~7 cycles -- which at 500 MHz is the 14-15 ns
+per warm entry the paper measures.  Memory stalls are *not* included here;
+they come from :class:`repro.memory.system.MemorySystem` per reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class NicCostModel:
+    """Cycle charges for the 500 MHz NIC processor's firmware primitives.
+
+    The headline calibration: ``entry_compare_cycles=7`` makes warm-cache
+    list traversal cost 14 ns/entry (the paper's ~15 ns), and a 64-byte
+    L1 miss per entry adds ~50 ns (the paper's ~64 ns/entry cold band,
+    together with the compute cycles).
+    """
+
+    #: one iteration of the compare-tags-and-chase-pointer traversal loop
+    entry_compare_cycles: int = 7
+    #: strip and decode an incoming message header
+    header_parse_cycles: int = 20
+    #: one polling check of an empty/ready FIFO or status register
+    poll_cycles: int = 4
+    #: allocate + fill a queue entry (excl. memory stalls)
+    enqueue_cycles: int = 16
+    #: unlink a matched queue entry and update list pointers
+    dequeue_cycles: int = 8
+    #: program a DMA descriptor (excl. the DMA engine's own time)
+    dma_setup_cycles: int = 30
+    #: compose and push a completion notification toward the host
+    completion_cycles: int = 12
+    #: rendezvous bookkeeping (build a reply / clear-to-send record)
+    rendezvous_cycles: int = 24
+    #: decide what to do with an ALPU response and update the local copy
+    alpu_result_handle_cycles: int = 6
+    #: queue-entry footprint in NIC memory; the traversal touches the
+    #: first cache line (envelope + next pointer); request state lives in
+    #: the second line and is touched only on a match
+    queue_entry_bytes: int = 128
+    #: bytes of each entry actually read while traversing
+    entry_touch_bytes: int = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class HostCostModel:
+    """Cycle charges for the 2 GHz host CPU.
+
+    The host only dispatches requests to the NIC and waits for
+    completions (Section V-C), so its model is small.
+    """
+
+    #: build an MPI request and validate arguments
+    call_overhead_cycles: int = 60
+    #: compose a NIC command in a write-combining window
+    command_build_cycles: int = 40
+    #: one poll of the completion queue
+    poll_cycles: int = 12
+    #: process a completion (update request object, return to caller)
+    completion_handle_cycles: int = 40

@@ -1,0 +1,150 @@
+"""The discrete-event simulation engine.
+
+The :class:`Engine` owns the event heap and the simulated clock.  It is the
+single point of truth for "now"; every component and process reads time
+through the engine.  The engine is deliberately minimal -- components,
+links, FIFOs and processes are layered on top of ``schedule``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.event import Event, EventHandle
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (e.g. scheduling in the past)."""
+
+
+class Engine:
+    """Event queue + clock.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable invoked as ``trace(time_ps, label)`` for every
+        fired event that carries a label.  Used by tests and debugging.
+    """
+
+    def __init__(self, trace: Optional[Callable[[int, str], None]] = None) -> None:
+        self._heap: list[Event] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._fired: int = 0
+        self._trace = trace
+        self._stopped = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay_ps: int,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``action`` to run ``delay_ps`` picoseconds from now.
+
+        A ``delay_ps`` of zero is allowed and runs after all events already
+        scheduled for the current instant at the same priority.  Negative
+        delays are an error.
+        """
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ps})")
+        event = Event(self._now + delay_ps, priority, self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self,
+        time_ps: int,
+        action: Callable[[], Any],
+        *,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``action`` at an absolute timestamp."""
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ps} (now is {self._now})"
+            )
+        return self.schedule(time_ps - self._now, action, priority=priority)
+
+    # ------------------------------------------------------------------- run
+    def stop(self) -> None:
+        """Request that the current ``run`` call return after this event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.  Returns False if none."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:  # pragma: no cover - heap invariant
+                raise SimulationError("event heap produced a past event")
+            self._now = event.time
+            self._fired += 1
+            event.action()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the heap drains, ``until`` is reached, or ``stop()``.
+
+        Parameters
+        ----------
+        until:
+            Absolute timestamp (ps).  Events *at* ``until`` are executed;
+            events after it are left in the heap and the clock is advanced
+            to ``until``.
+        max_events:
+            Safety valve for tests; raises :class:`SimulationError` when
+            exceeded (it usually indicates a livelocked model).
+
+        Returns
+        -------
+        int
+            The simulated time at exit.
+        """
+        self._stopped = False
+        executed = 0
+        while self._heap and not self._stopped:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self._now} ps"
+                )
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and not self._stopped and self._now < until:
+            self._now = until
+        return self._now

@@ -1,0 +1,55 @@
+"""Events and cancellable event handles.
+
+An :class:`Event` is a (time, priority, seq, action) record.  ``seq`` is a
+monotonically increasing tie-breaker so that events scheduled at the same
+timestamp with the same priority fire in scheduling order -- this gives the
+simulator deterministic, reproducible behaviour regardless of heap
+internals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Ordering is by ``(time, priority, seq)``; the callable itself does not
+    participate in comparisons.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    action: Callable[[], Any] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Engine.schedule`; supports cancellation.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped.  This keeps cancellation O(1).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> int:
+        """Scheduled firing time (ps)."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Has the event been cancelled?"""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True

@@ -1,0 +1,76 @@
+"""Fixed-latency point-to-point links.
+
+A :class:`Link` delivers messages from a sender to a receiver FIFO after a
+fixed latency, optionally with per-byte serialization.  The paper's system
+uses two: the NIC local bus (20 ns per transaction) and the network wire
+(200 ns, Table III).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.component import Component
+from repro.sim.engine import Engine
+from repro.sim.fifo import Fifo
+
+
+class Link(Component):
+    """Delivers messages into a destination FIFO after ``latency_ps``.
+
+    Parameters
+    ----------
+    latency_ps:
+        Head latency for every message.
+    bandwidth_bytes_per_ps:
+        When set, a message carrying ``size`` bytes additionally occupies
+        the link for ``size / bandwidth`` ps; messages are serialized (a
+        second message entering a busy link queues behind the first).
+        When ``None`` the link is a pure-latency pipe (transactions may
+        overlap).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        dest: Fifo,
+        latency_ps: int,
+        *,
+        bandwidth_bytes_per_ps: Optional[float] = None,
+        on_deliver: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        super().__init__(engine, name)
+        if latency_ps < 0:
+            raise ValueError(f"negative link latency {latency_ps}")
+        self.dest = dest
+        self.latency_ps = latency_ps
+        self.bandwidth = bandwidth_bytes_per_ps
+        self.on_deliver = on_deliver
+        self._busy_until = 0
+        self.messages_sent = 0
+
+    def occupancy_ps(self, size_bytes: int) -> int:
+        """Serialization time for a message of ``size_bytes``."""
+        if self.bandwidth is None or size_bytes <= 0:
+            return 0
+        return round(size_bytes / self.bandwidth)
+
+    def send(self, message: Any, size_bytes: int = 0) -> int:
+        """Inject a message; returns its delivery timestamp (ps).
+
+        With bandwidth modelling, the message starts serializing when the
+        link frees up; delivery = start + occupancy + latency.
+        """
+        start = max(self.now, self._busy_until)
+        occupancy = self.occupancy_ps(size_bytes)
+        self._busy_until = start + occupancy
+        deliver_at = start + occupancy + self.latency_ps
+        self.engine.schedule_at(deliver_at, lambda: self._deliver(message))
+        self.messages_sent += 1
+        return deliver_at
+
+    def _deliver(self, message: Any) -> None:
+        self.dest.push(message)
+        if self.on_deliver is not None:
+            self.on_deliver(message)

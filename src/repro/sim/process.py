@@ -1,0 +1,200 @@
+"""Generator-based cooperative processes.
+
+Firmware loops and host programs are naturally sequential-with-waits, so we
+model them as Python generators driven by the event engine (the same style
+SimPy uses).  A process body yields *commands*:
+
+``yield delay(ps)``
+    Advance simulated time by ``ps`` picoseconds (the process is computing).
+
+``yield wait_on(signal)``
+    Block until the signal pulses (or immediately if its level is set).
+    Yields the value ``True``.
+
+``yield wait_on(signal, timeout_ps=t)``
+    As above but resume after ``t`` ps even without a pulse.  The yield
+    evaluates to ``True`` on pulse, ``False`` on timeout.
+
+``yield now()``
+    Evaluates to the current simulated time without advancing it.
+
+A process may ``return value``; other processes retrieve it through
+:attr:`Process.result` after waiting on :attr:`Process.done`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.event import EventHandle
+from repro.sim.signal import Signal
+
+
+# --------------------------------------------------------------------------
+# Yieldable commands
+# --------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class _Delay:
+    ps: int
+
+
+@dataclasses.dataclass(frozen=True)
+class _WaitOn:
+    signal: Signal
+    timeout_ps: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class _Now:
+    pass
+
+
+def delay(ps: int) -> _Delay:
+    """Command: advance this process's local time by ``ps`` picoseconds."""
+    if ps < 0:
+        raise ValueError(f"negative delay: {ps}")
+    return _Delay(int(ps))
+
+
+def wait_on(signal: Signal, timeout_ps: Optional[int] = None) -> _WaitOn:
+    """Command: block on ``signal`` (optionally with a timeout)."""
+    return _WaitOn(signal, timeout_ps)
+
+
+def now() -> _Now:
+    """Command: evaluate to the current simulated time."""
+    return _Now()
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    WAITING = "waiting"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+class Process:
+    """A simulated thread of control.
+
+    Parameters
+    ----------
+    engine:
+        The engine that drives this process.
+    body:
+        A generator following the command protocol above.
+    name:
+        Diagnostic name.
+    start:
+        When True (default), the first step is scheduled immediately (at
+        zero delay from creation time).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        body: Generator[Any, Any, Any],
+        name: str = "proc",
+        *,
+        start: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self._body = body
+        self.state = ProcessState.CREATED
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        #: pulsed exactly once, when the process finishes or fails
+        self.done = Signal(f"{name}.done")
+        self._wait_event: Optional[EventHandle] = None
+        if start:
+            self.engine.schedule(0, lambda: self._step(None))
+
+    # ---------------------------------------------------------------- public
+    @property
+    def finished(self) -> bool:
+        """Has the process reached a terminal state?"""
+        return self.state in (ProcessState.FINISHED, ProcessState.FAILED)
+
+    def start(self) -> None:
+        """Start a process created with ``start=False``."""
+        if self.state is not ProcessState.CREATED:
+            raise SimulationError(f"process {self.name} already started")
+        self.engine.schedule(0, lambda: self._step(None))
+
+    # --------------------------------------------------------------- driving
+    def _step(self, send_value: Any) -> None:
+        if self.finished:
+            return
+        self.state = ProcessState.RUNNING
+        try:
+            command = self._body.send(send_value)
+        except StopIteration as stop:
+            self.state = ProcessState.FINISHED
+            self.result = stop.value
+            self.done.set()
+            return
+        except BaseException as exc:  # noqa: BLE001 - recorded & re-raised on join
+            self.state = ProcessState.FAILED
+            self.error = exc
+            self.done.set()
+            raise
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, _Delay):
+            self.state = ProcessState.WAITING
+            self.engine.schedule(command.ps, lambda: self._step(None))
+        elif isinstance(command, _Now):
+            # Answer immediately, without consuming simulated time.
+            self._step(self.engine.now)
+        elif isinstance(command, _WaitOn):
+            self._wait(command)
+        elif isinstance(command, Process):
+            # Waiting on another process == waiting on its done signal.
+            self._wait(_WaitOn(command.done))
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unknown command {command!r}"
+            )
+
+    def _wait(self, command: _WaitOn) -> None:
+        self.state = ProcessState.WAITING
+        signal = command.signal
+        resumed = False
+
+        def on_pulse() -> None:
+            nonlocal resumed
+            if resumed:
+                return
+            resumed = True
+            if self._wait_event is not None:
+                self._wait_event.cancel()
+                self._wait_event = None
+            # Resume on a fresh event so wakeups never nest inside pulse().
+            self.engine.schedule(0, lambda: self._step(True))
+
+        if signal.level:
+            self.engine.schedule(0, lambda: self._step(True))
+            return
+        signal.add_waiter(on_pulse)
+        if command.timeout_ps is not None:
+
+            def on_timeout() -> None:
+                nonlocal resumed
+                if resumed:
+                    return
+                resumed = True
+                signal.remove_waiter(on_pulse)
+                self._wait_event = None
+                self._step(False)
+
+            self._wait_event = self.engine.schedule(command.timeout_ps, on_timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {self.state.value}>"

@@ -1,0 +1,37 @@
+"""Time units for the simulator.
+
+All simulation timestamps are integers in **picoseconds**.  Integer time
+makes cycle arithmetic exact: a 2 GHz host-CPU cycle is 500 ps and a
+500 MHz NIC-processor or ALPU cycle is 2000 ps, so no accumulation of
+floating-point error can reorder events between the two clock domains.
+"""
+
+from __future__ import annotations
+
+PS_PER_NS: int = 1_000
+PS_PER_US: int = 1_000_000
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds (rounded)."""
+    return round(value * PS_PER_NS)
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer picoseconds (rounded)."""
+    return round(value * PS_PER_US)
+
+
+def cycles_to_ps(cycles: int, clock_hz: float) -> int:
+    """Convert a cycle count at ``clock_hz`` to picoseconds.
+
+    The per-cycle period is rounded to an integer picosecond count first so
+    that N cycles always cost exactly N times one cycle.
+    """
+    period_ps = round(1e12 / clock_hz)
+    return cycles * period_ps
+
+
+def ps_to_ns(ps: int) -> float:
+    """Convert picoseconds to (float) nanoseconds, for reporting."""
+    return ps / PS_PER_NS

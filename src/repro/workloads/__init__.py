@@ -1,0 +1,42 @@
+"""The benchmarks of Section V-A and the harness that runs them.
+
+* :mod:`repro.workloads.pingpong` -- classic ping-pong latency/bandwidth
+  (sanity check and quickstart example).
+* :mod:`repro.workloads.preposted` -- the posted-receive-queue benchmark
+  of [10]: three degrees of freedom (queue length, portion of the queue
+  traversed, message size).  Regenerates Figure 5.
+* :mod:`repro.workloads.unexpected` -- the unexpected-message-queue
+  benchmark of [10]: queue length and message size, with the time to post
+  the measuring receive *included* in the latency.  Regenerates Figure 6.
+* :mod:`repro.workloads.runner` -- configuration presets (baseline NIC,
+  128-entry ALPU, 256-entry ALPU) and sweep helpers.
+"""
+
+from repro.workloads.pingpong import PingPongParams, run_pingpong
+from repro.workloads.preposted import PrepostedParams, PrepostedResult, run_preposted
+from repro.workloads.unexpected import (
+    UnexpectedParams,
+    UnexpectedResult,
+    run_unexpected,
+)
+from repro.workloads.runner import (
+    nic_preset,
+    PRESETS,
+    sweep_preposted,
+    sweep_unexpected,
+)
+
+__all__ = [
+    "PingPongParams",
+    "run_pingpong",
+    "PrepostedParams",
+    "PrepostedResult",
+    "run_preposted",
+    "UnexpectedParams",
+    "UnexpectedResult",
+    "run_unexpected",
+    "nic_preset",
+    "PRESETS",
+    "sweep_preposted",
+    "sweep_unexpected",
+]

@@ -1,0 +1,134 @@
+"""Configuration presets and sweep helpers for the Figure 5/6 curves.
+
+The paper compares three receivers: the baseline NIC (embedded processor
+only, Red Storm-like), the same NIC with 128-entry ALPUs, and with
+256-entry ALPUs.  ``nic_preset`` builds them; the ``sweep_*`` helpers run
+a grid of benchmark points and return rows ready for printing or
+plotting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Sequence
+
+from repro.nic.nic import NicConfig
+from repro.workloads.preposted import PrepostedParams, PrepostedResult, run_preposted
+from repro.workloads.unexpected import (
+    UnexpectedParams,
+    UnexpectedResult,
+    run_unexpected,
+)
+
+#: the three receiver configurations of Figures 5 and 6
+PRESETS = ("baseline", "alpu128", "alpu256")
+
+
+def nic_preset(name: str, *, block_size: int = 16) -> NicConfig:
+    """Build one of the paper's three NIC configurations."""
+    if name == "baseline":
+        return NicConfig.baseline()
+    if name == "alpu128":
+        return NicConfig.with_alpu(total_cells=128, block_size=block_size)
+    if name == "alpu256":
+        return NicConfig.with_alpu(total_cells=256, block_size=block_size)
+    raise ValueError(f"unknown preset {name!r}; expected one of {PRESETS}")
+
+
+@dataclasses.dataclass
+class PrepostedRow:
+    """One point of a Figure 5 surface."""
+
+    preset: str
+    queue_length: int
+    traverse_fraction: float
+    message_size: int
+    latency_ns: float
+
+
+def sweep_preposted(
+    presets: Sequence[str],
+    queue_lengths: Iterable[int],
+    fractions: Iterable[float],
+    *,
+    message_size: int = 0,
+    iterations: int = 12,
+    warmup: int = 3,
+) -> List[PrepostedRow]:
+    """Run the preposted benchmark over a (preset x length x fraction) grid."""
+    rows: List[PrepostedRow] = []
+    for preset in presets:
+        nic = nic_preset(preset)
+        for length in queue_lengths:
+            for fraction in fractions:
+                result = run_preposted(
+                    nic_preset(preset),
+                    PrepostedParams(
+                        queue_length=length,
+                        traverse_fraction=fraction,
+                        message_size=message_size,
+                        iterations=iterations,
+                        warmup=warmup,
+                    ),
+                )
+                rows.append(
+                    PrepostedRow(
+                        preset=preset,
+                        queue_length=length,
+                        traverse_fraction=fraction,
+                        message_size=message_size,
+                        latency_ns=result.median_ns,
+                    )
+                )
+        del nic
+    return rows
+
+
+@dataclasses.dataclass
+class UnexpectedRow:
+    """One point of a Figure 6 curve."""
+
+    preset: str
+    queue_length: int
+    message_size: int
+    latency_ns: float
+
+
+def sweep_unexpected(
+    presets: Sequence[str],
+    queue_lengths: Iterable[int],
+    *,
+    message_size: int = 0,
+    iterations: int = 12,
+    warmup: int = 3,
+) -> List[UnexpectedRow]:
+    """Run the unexpected benchmark over a (preset x length) grid."""
+    rows: List[UnexpectedRow] = []
+    for preset in presets:
+        for length in queue_lengths:
+            result = run_unexpected(
+                nic_preset(preset),
+                UnexpectedParams(
+                    queue_length=length,
+                    message_size=message_size,
+                    iterations=iterations,
+                    warmup=warmup,
+                ),
+            )
+            rows.append(
+                UnexpectedRow(
+                    preset=preset,
+                    queue_length=length,
+                    message_size=message_size,
+                    latency_ns=result.median_ns,
+                )
+            )
+    return rows
+
+
+def rows_by_preset(rows: Iterable) -> Dict[str, List]:
+    """Group sweep rows by preset, preserving order."""
+    grouped: Dict[str, List] = {}
+    for row in rows:
+        grouped.setdefault(row.preset, []).append(row)
+    return grouped

@@ -1,0 +1,97 @@
+"""Tests for the curve-analysis helpers."""
+
+import pytest
+
+from repro.analysis.curves import (
+    crossover_length,
+    detect_knee,
+    fixed_overhead_ns,
+    per_entry_slope_ns,
+)
+from repro.analysis.tables import format_curve, format_rows
+
+
+def test_slope_on_a_line():
+    lengths = [0, 10, 20, 30]
+    latencies = [100 + 15 * x for x in lengths]
+    assert per_entry_slope_ns(lengths, latencies) == pytest.approx(15.0)
+
+
+def test_slope_windowing():
+    lengths = [0, 10, 100, 200]
+    latencies = [100, 250, 10_000, 20_000]
+    warm = per_entry_slope_ns(lengths, latencies, hi=10)
+    cold = per_entry_slope_ns(lengths, latencies, lo=100)
+    assert warm == pytest.approx(15.0)
+    assert cold == pytest.approx(100.0)
+
+
+def test_slope_needs_points_in_window():
+    with pytest.raises(ValueError):
+        per_entry_slope_ns([1, 2, 3], [1, 2, 3], lo=100)
+
+
+def test_fixed_overhead_extrapolates_to_zero():
+    assert fixed_overhead_ns([2, 4], [130, 160]) == pytest.approx(100.0)
+    with pytest.raises(ValueError):
+        fixed_overhead_ns([2, 2], [1, 2])
+
+
+def test_detect_knee_finds_the_cliff():
+    lengths = [10, 20, 30, 40, 50]
+    latencies = [150, 300, 450, 2000, 3550]  # slope jumps 15 -> 155 at 30
+    assert detect_knee(lengths, latencies) == 30
+
+
+def test_detect_knee_ignores_smooth_curves():
+    lengths = [10, 20, 30]
+    latencies = [150, 300, 460]
+    assert detect_knee(lengths, latencies) is None
+
+
+def test_detect_knee_ignores_flat_then_steady_growth():
+    """An ALPU curve: flat, then constant-slope overflow -- not a knee.
+
+    The flat region must not poison the reference slope (else the first
+    growth segment would look like an infinite jump).
+    """
+    lengths = [10, 100, 140, 160]
+    latencies = [700, 700, 1260, 1540]  # 0, then 14 ns/entry twice
+    assert detect_knee(lengths, latencies, factor=3.0) is None
+
+
+def test_crossover_interpolates():
+    lengths = [0, 10, 20]
+    alpu = [80, 80, 80]  # flat
+    baseline = [0, 100, 200]  # linear; exceeds the flat curve at x = 8
+    result = crossover_length(lengths, baseline, lengths, alpu)
+    assert result == pytest.approx(8.0)
+
+
+def test_crossover_at_first_sample():
+    lengths = [5, 10]
+    assert crossover_length(lengths, [100, 200], lengths, [50, 60]) == 5.0
+
+
+def test_crossover_none_when_never_exceeds():
+    lengths = [0, 10]
+    assert crossover_length(lengths, [1, 2], lengths, [10, 20]) is None
+
+
+def test_crossover_requires_shared_samples():
+    with pytest.raises(ValueError):
+        crossover_length([0, 1], [1, 2], [0, 2], [1, 2])
+
+
+def test_format_rows():
+    text = format_rows(["a", "bb"], [[1, 2], [30, 40]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "30" in lines[3]
+    with pytest.raises(ValueError):
+        format_rows(["a"], [[1, 2]])
+
+
+def test_format_curve():
+    text = format_curve("baseline", [1, 2], [100.0, 200.0])
+    assert "baseline" in text and "1:100" in text

@@ -1,0 +1,279 @@
+"""Unit tests for the ALPU: FSM, protocol, ordering, compaction."""
+
+import pytest
+
+from repro.core.alpu import (
+    Alpu,
+    AlpuConfig,
+    AlpuError,
+    AlpuMode,
+    CompactionReach,
+)
+from repro.core.cell import CellKind
+from repro.core.commands import (
+    Insert,
+    MatchFailure,
+    MatchSuccess,
+    Reset,
+    StartAcknowledge,
+    StartInsert,
+    StopInsert,
+)
+from repro.core.match import MatchFormat, MatchRequest
+
+FMT = MatchFormat()
+
+
+def make(total=16, block=4, **kwargs):
+    return Alpu(AlpuConfig(total_cells=total, block_size=block, **kwargs))
+
+
+def insert_many(alpu, entries):
+    """Drive the full Table I protocol for a batch of (bits, mask, tag)."""
+    responses = alpu.submit(StartInsert())
+    assert isinstance(responses[0], StartAcknowledge)
+    for bits, mask, tag in entries:
+        alpu.submit(Insert(bits, mask, tag))
+    alpu.submit(StopInsert())
+
+
+# ------------------------------------------------------------- basic FSM
+def test_starts_in_match_mode_and_empty():
+    alpu = make()
+    assert alpu.mode is AlpuMode.MATCH
+    assert alpu.occupancy == 0
+    assert alpu.free_entries == 16
+
+
+def test_start_insert_acknowledges_free_count():
+    alpu = make(total=8, block=4)
+    responses = alpu.submit(StartInsert())
+    assert responses == [StartAcknowledge(free_entries=8)]
+    assert alpu.mode is AlpuMode.INSERT
+    alpu.submit(StopInsert())
+    assert alpu.mode is AlpuMode.MATCH
+
+
+def test_insert_outside_insert_mode_is_discarded():
+    """Footnote 3: invalid commands in Read Command are discarded."""
+    alpu = make()
+    responses = alpu.submit(Insert(1, 0, 1))
+    assert responses == []
+    assert alpu.occupancy == 0
+    assert alpu.stats.commands_discarded == 1
+
+
+def test_stop_insert_outside_insert_mode_is_discarded():
+    alpu = make()
+    alpu.submit(StopInsert())
+    assert alpu.stats.commands_discarded == 1
+
+
+def test_redundant_start_insert_re_acknowledges():
+    alpu = make(total=8, block=4)
+    alpu.submit(StartInsert())
+    responses = alpu.submit(StartInsert())
+    assert responses == [StartAcknowledge(free_entries=8)]
+    assert alpu.mode is AlpuMode.INSERT
+
+
+def test_reset_clears_everything_and_returns_to_match():
+    alpu = make()
+    insert_many(alpu, [(i, 0, i) for i in range(5)])
+    assert alpu.occupancy == 5
+    alpu.submit(Reset())
+    assert alpu.occupancy == 0
+    assert alpu.mode is AlpuMode.MATCH
+    assert alpu.present_header(MatchRequest(bits=3)) == [MatchFailure()]
+
+
+def test_reset_works_from_insert_mode():
+    alpu = make()
+    alpu.submit(StartInsert())
+    alpu.submit(Insert(1, 0, 1))
+    alpu.submit(Reset())
+    assert alpu.mode is AlpuMode.MATCH
+    assert alpu.occupancy == 0
+
+
+# ----------------------------------------------------------- match basics
+def test_match_returns_tag_and_deletes():
+    alpu = make()
+    insert_many(alpu, [(100, 0, 42)])
+    assert alpu.present_header(MatchRequest(bits=100)) == [MatchSuccess(tag=42)]
+    assert alpu.occupancy == 0
+    # delete-on-match: a second identical header now fails
+    assert alpu.present_header(MatchRequest(bits=100)) == [MatchFailure()]
+
+
+def test_oldest_matching_entry_wins():
+    """MPI requires the first matching item in list order."""
+    alpu = make()
+    insert_many(alpu, [(7, 0, 1), (7, 0, 2), (7, 0, 3)])
+    assert alpu.present_header(MatchRequest(bits=7)) == [MatchSuccess(tag=1)]
+    assert alpu.present_header(MatchRequest(bits=7)) == [MatchSuccess(tag=2)]
+    assert alpu.present_header(MatchRequest(bits=7)) == [MatchSuccess(tag=3)]
+
+
+def test_ordering_across_block_boundaries():
+    alpu = make(total=16, block=4)
+    insert_many(alpu, [(7, 0, i) for i in range(10)])  # spans 3 blocks
+    for expected in range(10):
+        assert alpu.present_header(MatchRequest(bits=7)) == [
+            MatchSuccess(tag=expected)
+        ]
+
+
+def test_wildcard_entries_match_by_priority_not_specificity():
+    """Unlike LPM routing, ordering beats specificity (Section II)."""
+    alpu = make()
+    any_source_bits, any_source_mask = FMT.pack_receive(1, -1, 5)
+    exact_bits = FMT.pack(1, 3, 5)
+    # wildcard first, then exact: the *wildcard* must win (it is older)
+    insert_many(alpu, [(any_source_bits, any_source_mask, 1), (exact_bits, 0, 2)])
+    assert alpu.present_header(MatchRequest(bits=exact_bits)) == [
+        MatchSuccess(tag=1)
+    ]
+
+
+def test_deletion_preserves_survivor_order():
+    alpu = make()
+    insert_many(alpu, [(i, 0, i) for i in range(6)])
+    alpu.present_header(MatchRequest(bits=3))
+    assert [e.tag for e in alpu.entries()] == [0, 1, 2, 4, 5]
+
+
+# ---------------------------------------------------- insert-mode holding
+def test_failure_held_during_insert_mode():
+    alpu = make()
+    alpu.submit(StartInsert())
+    assert alpu.present_header(MatchRequest(bits=55)) == []
+    assert alpu.has_held_request
+    # the held request resolves on STOP INSERT (still failing)
+    responses = alpu.submit(StopInsert())
+    assert responses == [MatchFailure()]
+    assert not alpu.has_held_request
+
+
+def test_held_failure_retried_after_each_insert():
+    alpu = make()
+    alpu.submit(StartInsert())
+    assert alpu.present_header(MatchRequest(bits=55)) == []
+    responses = alpu.submit(Insert(55, 0, 9))
+    assert responses == [MatchSuccess(tag=9)]
+    assert alpu.occupancy == 0  # matched and deleted immediately
+
+
+def test_success_flows_during_insert_mode():
+    alpu = make()
+    insert_many(alpu, [(5, 0, 1)])
+    alpu.submit(StartInsert())
+    assert alpu.present_header(MatchRequest(bits=5)) == [MatchSuccess(tag=1)]
+    alpu.submit(StopInsert())
+
+
+def test_requests_behind_a_held_failure_wait_in_order():
+    alpu = make()
+    insert_many(alpu, [(5, 0, 1)])
+    alpu.submit(StartInsert())
+    assert alpu.present_header(MatchRequest(bits=99)) == []  # held
+    # a request that *would* succeed must not jump the queue
+    assert alpu.present_header(MatchRequest(bits=5)) == []
+    responses = alpu.submit(StopInsert())
+    assert responses == [MatchFailure(), MatchSuccess(tag=1)]
+
+
+def test_results_fifo_accumulates_in_order():
+    alpu = make()
+    insert_many(alpu, [(1, 0, 10), (2, 0, 20)])
+    alpu.present_header(MatchRequest(bits=2))
+    alpu.present_header(MatchRequest(bits=1))
+    alpu.present_header(MatchRequest(bits=3))
+    match_results = [r for r in alpu.results if not isinstance(r, StartAcknowledge)]
+    assert match_results == [MatchSuccess(20), MatchSuccess(10), MatchFailure()]
+
+
+# ------------------------------------------------------------ capacity
+def test_insert_into_full_alpu_raises():
+    alpu = make(total=4, block=4)
+    insert_many(alpu, [(i, 0, i) for i in range(4)])
+    alpu.submit(StartInsert())
+    with pytest.raises(AlpuError, match="full"):
+        alpu.submit(Insert(9, 0, 9))
+
+
+def test_free_count_reflects_occupancy():
+    alpu = make(total=8, block=4)
+    insert_many(alpu, [(i, 0, i) for i in range(3)])
+    responses = alpu.submit(StartInsert())
+    assert responses == [StartAcknowledge(free_entries=5)]
+    alpu.submit(StopInsert())
+
+
+# ----------------------------------------------------------- validation
+def test_width_checks():
+    alpu = make()
+    with pytest.raises(AlpuError):
+        alpu.present_header(MatchRequest(bits=1 << 42))
+    alpu2 = make()
+    alpu2.submit(StartInsert())
+    with pytest.raises(AlpuError):
+        alpu2.submit(Insert(1 << 42, 0, 0))
+    with pytest.raises(AlpuError):
+        alpu2.submit(Insert(0, 0, 1 << 16))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AlpuConfig(total_cells=10, block_size=4)  # not a multiple
+    with pytest.raises(ValueError):
+        AlpuConfig(total_cells=24, block_size=12)  # not a power of two
+
+
+# ------------------------------------------------------------ compaction
+def test_data_drifts_toward_the_oldest_end():
+    """'List items are inserted from the left and progress to the right.'"""
+    alpu = make(total=8, block=4)
+    insert_many(alpu, [(1, 0, 1)])
+    for _ in range(10):
+        alpu.compact_step()
+    # the single entry should have migrated to the highest cell
+    assert alpu._cell(7).valid
+    assert not alpu._cell(0).valid
+
+
+def test_compaction_preserves_order():
+    alpu = make(total=8, block=4)
+    insert_many(alpu, [(i, 0, i) for i in range(5)])
+    before = [e.tag for e in alpu.entries()]
+    for _ in range(20):
+        alpu.compact_step()
+    assert [e.tag for e in alpu.entries()] == before
+
+
+def test_global_reach_behaves_like_block_reach_for_ordering():
+    for reach in (CompactionReach.BLOCK, CompactionReach.GLOBAL):
+        alpu = make(total=16, block=4, compaction_reach=reach)
+        insert_many(alpu, [(i, 0, i) for i in range(9)])
+        alpu.present_header(MatchRequest(bits=4))
+        for _ in range(30):
+            alpu.compact_step()
+        assert [e.tag for e in alpu.entries()] == [0, 1, 2, 3, 5, 6, 7, 8]
+
+
+def test_compact_step_reports_quiescence():
+    alpu = make(total=8, block=4)
+    insert_many(alpu, [(1, 0, 1)])
+    while alpu.compact_step():
+        pass
+    assert alpu.compact_step() is False  # fully packed: nothing moves
+
+
+def test_entries_capacity_and_occupancy_invariant():
+    alpu = make(total=8, block=4)
+    insert_many(alpu, [(i, 0, i) for i in range(8)])
+    assert alpu.occupancy == 8
+    assert alpu.free_entries == 0
+    alpu.present_header(MatchRequest(bits=0))
+    assert alpu.occupancy == 7
+    assert len(alpu.entries()) == 7

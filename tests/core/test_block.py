@@ -1,0 +1,146 @@
+"""Unit tests for the cell block and its priority-mux tree."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.block import CellBlock, priority_select
+from repro.core.cell import CellKind
+from repro.core.match import MatchEntry, MatchRequest
+
+
+def loaded_block(tags, size=8, kind=CellKind.POSTED_RECEIVE):
+    """Block with cells 0..len(tags)-1 loaded; bits equal tag for ease."""
+    block = CellBlock(kind, size)
+    for i, tag in enumerate(tags):
+        block.cells[i].load(MatchEntry(bits=tag, mask=0, tag=tag))
+    return block
+
+
+# ------------------------------------------------------- priority_select
+def test_priority_select_takes_highest_index():
+    found, location, tag = priority_select(
+        [True, False, True, False], [10, 11, 12, 13]
+    )
+    assert (found, location, tag) == (True, 2, 12)
+
+
+def test_priority_select_no_match():
+    found, _, _ = priority_select([False] * 4, [0, 1, 2, 3])
+    assert not found
+
+
+def test_priority_select_single_element():
+    assert priority_select([True], [9]) == (True, 0, 9)
+    assert priority_select([False], [9])[0] is False
+
+
+def test_priority_select_requires_power_of_two():
+    with pytest.raises(ValueError):
+        priority_select([True, False, True], [1, 2, 3])
+    with pytest.raises(ValueError):
+        priority_select([], [])
+
+
+def test_priority_select_length_mismatch():
+    with pytest.raises(ValueError):
+        priority_select([True, False], [1])
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=64).filter(
+    lambda flags: len(flags) & (len(flags) - 1) == 0
+))
+def test_priority_select_matches_naive_scan(flags):
+    tags = list(range(len(flags)))
+    found, location, tag = priority_select(flags, tags)
+    expected = max((i for i, f in enumerate(flags) if f), default=None)
+    if expected is None:
+        assert not found
+    else:
+        assert (found, location, tag) == (True, expected, expected)
+
+
+# --------------------------------------------------------------- matching
+def test_block_match_prefers_oldest_cell():
+    """Highest local index == oldest == MPI's 'first in list order'."""
+    block = loaded_block([5, 5, 5, 7], size=4)
+    block.register_request(MatchRequest(bits=5))
+    matched, location, tag = block.match()
+    assert (matched, location, tag) == (True, 2, 5)
+
+
+def test_block_match_requires_registered_request():
+    block = loaded_block([1], size=4)
+    with pytest.raises(RuntimeError):
+        block.match()
+
+
+def test_block_match_with_explicit_request():
+    block = loaded_block([3, 4], size=2)
+    assert block.match(MatchRequest(bits=4)) == (True, 1, 4)
+    assert block.match(MatchRequest(bits=9))[0] is False
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=0, max_size=8),
+    st.integers(0, 3),
+)
+def test_block_fast_scan_equals_priority_mux_tree(stored, probe):
+    """The hot-loop scan must equal the hardware's mux tree, always."""
+    block = loaded_block(stored, size=8)
+    request = MatchRequest(bits=probe)
+    flags = [cell.match(request) for cell in block.cells]
+    tags = [cell.tag for cell in block.cells]
+    assert block.match(request)[:2] == priority_select(flags, tags)[:2]
+    if block.match(request)[0]:
+        assert block.match(request) == priority_select(flags, tags)
+
+
+# --------------------------------------------------------------- shifting
+def test_shift_up_through_deletes_and_compacts():
+    block = loaded_block([10, 11, 12, 13], size=4)
+    # delete local cell 2: cells 0..1 shift to 1..2, cell 0 empties
+    block.shift_up_through(2, incoming=None)
+    assert [c.tag if c.valid else None for c in block.cells] == [None, 10, 11, 13]
+
+
+def test_shift_up_through_with_incoming_latches_it():
+    block = loaded_block([10, 11, 12, 13], size=4)
+    from repro.core.cell import Cell
+
+    incoming = Cell(CellKind.POSTED_RECEIVE)
+    incoming.load(MatchEntry(bits=0, mask=0, tag=99))
+    block.shift_up_through(3, incoming)
+    assert [c.tag for c in block.cells] == [99, 10, 11, 12]
+
+
+def test_shift_returns_displaced_top():
+    block = loaded_block([10, 11], size=2)
+    displaced = block.shift_up_through(1, incoming=None)
+    assert displaced.valid and displaced.tag == 11
+
+
+# -------------------------------------------------------------- occupancy
+def test_occupancy_and_holes():
+    block = loaded_block([1, 2], size=8)
+    assert block.occupancy == 2
+    assert not block.is_full
+    assert block.lowest_hole() == 2
+    assert block.lowest_hole_above(0) == 2
+    full = loaded_block(list(range(4)), size=4)
+    assert full.is_full
+    assert full.lowest_hole() is None
+    assert full.lowest_hole_above(0) is None
+
+
+def test_bottom_empty():
+    block = CellBlock(CellKind.POSTED_RECEIVE, 4)
+    assert block.bottom_empty
+    block.cells[0].load(MatchEntry(bits=0, mask=0, tag=0))
+    assert not block.bottom_empty
+
+
+def test_block_size_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        CellBlock(CellKind.POSTED_RECEIVE, 12)
+    with pytest.raises(ValueError):
+        CellBlock(CellKind.POSTED_RECEIVE, 0)

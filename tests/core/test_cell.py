@@ -1,0 +1,62 @@
+"""Unit tests for the basic matching cell (Figure 2a/2b)."""
+
+from repro.core.cell import Cell, CellKind
+from repro.core.match import MatchEntry, MatchFormat, MatchRequest
+
+FMT = MatchFormat()
+
+
+def test_invalid_cell_never_matches():
+    cell = Cell(CellKind.POSTED_RECEIVE)
+    cell.bits = 0
+    assert not cell.match(MatchRequest(bits=0))
+
+
+def test_posted_receive_cell_stores_its_mask():
+    cell = Cell(CellKind.POSTED_RECEIVE)
+    bits, mask = FMT.pack_receive(1, -1, 5)  # ANY_SOURCE
+    cell.load(MatchEntry(bits=bits, mask=mask, tag=3))
+    assert cell.mask == mask
+    assert cell.match(MatchRequest(FMT.pack(1, 999, 5)))
+    assert not cell.match(MatchRequest(FMT.pack(1, 999, 6)))
+
+
+def test_unexpected_cell_ignores_entry_mask_and_uses_request_mask():
+    """Fig. 2b: 'Instead of storing the mask bits in each cell, the mask
+    bits are inputs.'"""
+    cell = Cell(CellKind.UNEXPECTED)
+    # even if a mask is supplied at load, the cell has nowhere to keep it
+    cell.load(MatchEntry(bits=FMT.pack(1, 7, 5), mask=FMT.source_field_mask, tag=1))
+    assert cell.mask == 0
+    # explicit request mismatching the source fails...
+    assert not cell.match(MatchRequest(FMT.pack(1, 8, 5)))
+    # ...but a request carrying an ANY_SOURCE input mask matches
+    bits, mask = FMT.pack_receive(1, -1, 5)
+    assert cell.match(MatchRequest(bits=bits, mask=mask))
+
+
+def test_clear_drops_valid_only():
+    cell = Cell(CellKind.POSTED_RECEIVE)
+    cell.load(MatchEntry(bits=5, mask=0, tag=9))
+    cell.clear()
+    assert not cell.valid
+    assert cell.snapshot() is None
+
+
+def test_copy_from_transfers_all_state():
+    source = Cell(CellKind.POSTED_RECEIVE)
+    source.load(MatchEntry(bits=42, mask=7, tag=13))
+    dest = Cell(CellKind.POSTED_RECEIVE)
+    dest.copy_from(source)
+    assert (dest.bits, dest.mask, dest.tag, dest.valid) == (42, 7, 13, True)
+    # copying an invalid neighbour propagates the hole
+    source.clear()
+    dest.copy_from(source)
+    assert not dest.valid
+
+
+def test_snapshot_roundtrip():
+    entry = MatchEntry(bits=77, mask=1, tag=2)
+    cell = Cell(CellKind.POSTED_RECEIVE)
+    cell.load(entry)
+    assert cell.snapshot() == entry

@@ -1,0 +1,111 @@
+"""Unit tests for match bits, masks and envelope packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.match import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MatchEntry,
+    MatchFormat,
+    MatchRequest,
+    matches,
+)
+
+FMT = MatchFormat()
+
+
+def test_default_format_is_the_papers_42_bits():
+    assert FMT.width == 42
+    assert FMT.context_bits + FMT.source_bits + FMT.tag_bits == 42
+    assert FMT.source_bits == 15  # 32K-node system
+
+
+def test_pack_unpack_roundtrip():
+    bits = FMT.pack(context=3, source=12345, tag=777)
+    assert FMT.unpack(bits) == (3, 12345, 777)
+
+
+@given(
+    context=st.integers(0, 2**11 - 1),
+    source=st.integers(0, 2**15 - 1),
+    tag=st.integers(0, 2**16 - 1),
+)
+def test_pack_unpack_roundtrip_property(context, source, tag):
+    assert MatchFormat().unpack(MatchFormat().pack(context, source, tag)) == (
+        context,
+        source,
+        tag,
+    )
+
+
+def test_field_overflow_rejected():
+    with pytest.raises(ValueError, match="source"):
+        FMT.pack(0, 1 << 15, 0)
+    with pytest.raises(ValueError, match="tag"):
+        FMT.pack(0, 0, 1 << 16)
+    with pytest.raises(ValueError, match="context"):
+        FMT.pack(1 << 11, 0, 0)
+
+
+def test_exact_receive_has_no_mask():
+    bits, mask = FMT.pack_receive(context=1, source=4, tag=9)
+    assert mask == 0
+    assert FMT.unpack(bits) == (1, 4, 9)
+
+
+def test_any_source_masks_only_the_source_field():
+    bits, mask = FMT.pack_receive(context=1, source=ANY_SOURCE, tag=9)
+    assert mask == FMT.source_field_mask
+    entry = MatchEntry(bits=bits, mask=mask, tag=0)
+    for source in (0, 7, 32767):
+        assert entry.matches_request(MatchRequest(FMT.pack(1, source, 9)))
+    assert not entry.matches_request(MatchRequest(FMT.pack(1, 3, 8)))  # tag differs
+    assert not entry.matches_request(MatchRequest(FMT.pack(2, 3, 9)))  # context
+
+
+def test_any_tag_masks_only_the_tag_field():
+    bits, mask = FMT.pack_receive(context=1, source=4, tag=ANY_TAG)
+    assert mask == FMT.tag_field_mask
+    entry = MatchEntry(bits=bits, mask=mask, tag=0)
+    for tag in (0, 1, 65535):
+        assert entry.matches_request(MatchRequest(FMT.pack(1, 4, tag)))
+    assert not entry.matches_request(MatchRequest(FMT.pack(1, 5, 7)))
+
+
+def test_both_wildcards_match_any_source_and_tag():
+    bits, mask = FMT.pack_receive(context=6, source=ANY_SOURCE, tag=ANY_TAG)
+    entry = MatchEntry(bits=bits, mask=mask, tag=0)
+    assert entry.matches_request(MatchRequest(FMT.pack(6, 31000, 65000)))
+    assert not entry.matches_request(MatchRequest(FMT.pack(5, 31000, 65000)))
+
+
+def test_context_can_never_be_wildcarded():
+    """A posted receive must explicitly match the context (Section II)."""
+    bits, mask = FMT.pack_receive(context=2, source=ANY_SOURCE, tag=ANY_TAG)
+    assert mask & ((1 << FMT.context_bits) - 1) == 0
+
+
+def test_matches_primitive():
+    assert matches(0b1010, 0b0000, 0b1010)
+    assert not matches(0b1010, 0b0000, 0b1011)
+    assert matches(0b1010, 0b0001, 0b1011)  # masked disagreement
+
+
+@given(
+    stored=st.integers(0, 2**42 - 1),
+    mask=st.integers(0, 2**42 - 1),
+    request=st.integers(0, 2**42 - 1),
+)
+def test_masked_bits_never_affect_outcome(stored, mask, request):
+    flipped = stored ^ mask  # flip every masked bit of the stored word
+    assert matches(stored, mask, request) == matches(flipped, mask, request)
+
+
+def test_request_mask_composes_with_stored_mask():
+    # unexpected-queue direction: the request (a receive) carries the mask
+    entry = MatchEntry(bits=FMT.pack(1, 9, 40), mask=0, tag=0)
+    bits, mask = FMT.pack_receive(1, ANY_SOURCE, 40)
+    assert entry.matches_request(MatchRequest(bits=bits, mask=mask))
+    bits2, mask2 = FMT.pack_receive(1, ANY_SOURCE, 41)
+    assert not entry.matches_request(MatchRequest(bits=bits2, mask=mask2))

@@ -1,0 +1,49 @@
+"""Unit tests for the ALPU pipeline timing model."""
+
+import pytest
+
+from repro.core.alpu import AlpuConfig
+from repro.core.pipeline import AlpuTimingModel, match_latency_cycles
+
+
+def test_latency_matches_every_published_design_point():
+    """The Tables IV/V latency column, via the >8-blocks rule."""
+    published = {
+        (256, 8): 7,
+        (256, 16): 7,
+        (256, 32): 6,
+        (128, 8): 7,
+        (128, 16): 6,
+        (128, 32): 6,
+    }
+    for (cells, block), latency in published.items():
+        assert match_latency_cycles(cells, block) == latency
+
+
+def test_latency_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        match_latency_cycles(100, 7)
+    with pytest.raises(ValueError):
+        match_latency_cycles(0, 8)
+
+
+def test_conservative_model_pins_seven_cycles():
+    """'The simulation results assume a 7 cycle pipelining latency.'"""
+    timing = AlpuTimingModel()
+    config = AlpuConfig(total_cells=128, block_size=32)  # geometric: 6
+    assert timing.match_cycles(config) == 7
+
+
+def test_geometric_model_uses_the_table_rule():
+    timing = AlpuTimingModel(conservative_match_cycles=False)
+    assert timing.match_cycles(AlpuConfig(total_cells=128, block_size=32)) == 6
+    assert timing.match_cycles(AlpuConfig(total_cells=256, block_size=8)) == 7
+
+
+def test_500mhz_durations():
+    timing = AlpuTimingModel()
+    config = AlpuConfig()
+    assert timing.cycle_ps() == 2000
+    assert timing.match_ps(config) == 14_000  # 7 cycles at 500 MHz
+    assert timing.insert_ps() == 4_000  # every other cycle
+    assert timing.command_ps() == 2_000

@@ -1,0 +1,66 @@
+"""Unit tests for the address allocator."""
+
+import pytest
+
+from repro.memory.layout import AddressAllocator, align_up
+
+
+def test_align_up():
+    assert align_up(0, 64) == 0
+    assert align_up(1, 64) == 64
+    assert align_up(64, 64) == 64
+    assert align_up(65, 128) == 128
+    with pytest.raises(ValueError):
+        align_up(5, 3)  # not a power of two
+    with pytest.raises(ValueError):
+        align_up(5, 0)
+
+
+def test_allocations_are_aligned_and_disjoint():
+    allocator = AddressAllocator(base=0x1000)
+    blocks = [allocator.alloc(100, alignment=64) for _ in range(10)]
+    for addr in blocks:
+        assert addr % 64 == 0
+    spans = sorted((addr, addr + 100) for addr in blocks)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert start >= end
+
+
+def test_free_list_recycles_exact_sizes():
+    allocator = AddressAllocator()
+    first = allocator.alloc(128, alignment=128)
+    allocator.free(first, 128)
+    assert allocator.alloc(128, alignment=128) == first
+    # different size does not reuse the freed block
+    other = allocator.alloc(64)
+    assert other != first
+
+
+def test_labelled_regions():
+    allocator = AddressAllocator(base=0)
+    addr = allocator.alloc(256, label="queue")
+    assert allocator.region("queue") == (addr, 256)
+    with pytest.raises(KeyError):
+        allocator.region("nope")
+
+
+def test_exhaustion_raises():
+    allocator = AddressAllocator(base=0, size=256)
+    allocator.alloc(128)
+    with pytest.raises(MemoryError):
+        allocator.alloc(256)
+
+
+def test_invalid_requests_rejected():
+    allocator = AddressAllocator()
+    with pytest.raises(ValueError):
+        allocator.alloc(0)
+    with pytest.raises(ValueError):
+        AddressAllocator(base=-1)
+
+
+def test_bytes_allocated_tracks_bump_pointer():
+    allocator = AddressAllocator(base=0)
+    allocator.alloc(64, alignment=64)
+    allocator.alloc(64, alignment=64)
+    assert allocator.bytes_allocated == 128

@@ -1,0 +1,108 @@
+"""Tests for the composed memory system, including the Table III bands."""
+
+import pytest
+
+from repro.memory.cache import CacheConfig
+from repro.memory.system import MemorySystem, MemorySystemConfig
+from repro.proc.params import make_host_memory, make_nic_memory
+from repro.sim.units import cycles_to_ps
+
+
+def test_l1_hit_costs_zero_extra():
+    memory = make_nic_memory()
+    memory.access(0x1000)
+    assert memory.access(0x1000) == 0
+
+
+def test_nic_miss_lands_in_table_iii_band():
+    """Load-to-use 30-32 cycles at 500 MHz for the common DRAM paths."""
+    memory = make_nic_memory()
+    cycle = cycles_to_ps(1, 500e6)
+    # cold accesses to addresses in distinct rows: activate path
+    stall_activate = memory.access(0x10_0000)
+    # second access in the same (now open) row, different line: page hit
+    stall_hit = memory.access(0x10_0000 + 64)
+    assert 30 <= stall_activate / cycle <= 32
+    assert 28 <= stall_hit / cycle <= 30
+
+
+def test_nic_row_conflicts_exceed_the_band():
+    """Open-row contention pushes latency above the nominal band."""
+    memory = make_nic_memory()
+    row = memory.config.dram.row_bytes
+    banks = memory.config.dram.num_banks
+    cycle = cycles_to_ps(1, 500e6)
+    a, b = 0x20_0000, 0x20_0000 + row * banks  # same bank, different rows
+    memory.access(a)
+    conflict_stall = memory.access(b)
+    assert conflict_stall / cycle > 32
+
+
+def test_host_miss_lands_in_table_iii_band():
+    """Load-to-use 85-93 cycles at 2 GHz for the common DRAM paths."""
+    memory = make_host_memory()
+    cycle = cycles_to_ps(1, 2e9)
+    stall = memory.access(0x30_0000)
+    assert 85 <= stall / cycle <= 93
+
+
+def test_host_l2_absorbs_l1_evictions():
+    memory = make_host_memory()
+    memory.access(0x40_0000)
+    # evict it from L1 by filling its set (2-way L1, 512 sets)
+    sets = memory.l1.config.num_sets
+    line = memory.l1.config.line_bytes
+    memory.access(0x40_0000 + sets * line)
+    memory.access(0x40_0000 + 2 * sets * line)
+    # back to the original: L1 miss, L2 hit -- far cheaper than DRAM
+    stall = memory.access(0x40_0000)
+    assert stall == memory.config.l2_hit_ps
+
+
+def test_dirty_writeback_without_l2_charges_dram():
+    memory = make_nic_memory()
+    sets = memory.l1.config.num_sets
+    line = memory.l1.config.line_bytes
+    ways = memory.l1.config.ways
+    base = 0x50_0000
+    memory.access(base, write=True)  # dirty
+    # fill the set to evict the dirty line
+    for way in range(ways):
+        memory.access(base + (way + 1) * sets * line)
+    assert memory.dram.accesses > ways + 1  # the write-back hit DRAM too
+
+
+def test_multi_line_access_charges_each_line():
+    memory = make_nic_memory()
+    stall_two_lines = memory.access(0x60_0000, size=128)
+    memory2 = make_nic_memory()
+    stall_one_line = memory2.access(0x60_0000, size=64)
+    assert stall_two_lines > stall_one_line
+
+
+def test_warm_preloads_without_stall():
+    memory = make_nic_memory()
+    memory.warm(0x70_0000, 4096)
+    total = sum(memory.access(0x70_0000 + off) for off in range(0, 4096, 64))
+    assert total == 0
+
+
+def test_invalid_access_size_rejected():
+    with pytest.raises(ValueError):
+        make_nic_memory().access(0, size=0)
+
+
+def test_total_stall_accumulates():
+    memory = make_nic_memory()
+    memory.access(0x100)
+    memory.access(0x100)
+    assert memory.total_stall_ps > 0
+    memory.reset_stats()
+    assert memory.total_stall_ps == 0
+
+
+def test_negative_config_rejected():
+    with pytest.raises(ValueError):
+        MemorySystemConfig(
+            l1=CacheConfig(1024, 2, 64), miss_base_ps=-1
+        )

@@ -1,0 +1,161 @@
+"""Tests for the footnote-1 extension: several ranks sharing one NIC.
+
+"The prototype design only supports hardware acceleration for a single
+process, but extending it to support a limited number of processes is
+straightforward."  The extension folds each local process id into the
+context field of the match word, so co-located processes share the NIC's
+queues and ALPUs without cross-matching.
+"""
+
+import pytest
+
+from repro.core.match import ANY_SOURCE, ANY_TAG
+from repro.mpi.world import MpiWorld, WorldConfig
+from repro.network.fabric import Fabric
+from repro.nic.nic import Nic, NicConfig
+from repro.sim.engine import Engine
+from repro.sim.fifo import Fifo
+
+PRESETS = [NicConfig.baseline(), NicConfig.with_alpu(64, 8)]
+PRESET_IDS = ["baseline", "alpu64"]
+
+
+# ----------------------------------------------------------- unit level
+def shared_nic(rpn=2):
+    import dataclasses
+
+    engine = Engine()
+    fabric = Fabric(engine, 1)
+    config = dataclasses.replace(NicConfig.baseline(), ranks_per_node=rpn)
+    return Nic(engine, 0, fabric, Fifo(), config)
+
+
+def test_rank_to_node_and_lproc_mapping():
+    nic = shared_nic(rpn=2)
+    assert nic.node_of(0) == 0 and nic.lproc_of(0) == 0
+    assert nic.node_of(1) == 0 and nic.lproc_of(1) == 1
+    assert nic.node_of(2) == 1 and nic.lproc_of(2) == 0
+    assert nic.node_of(5) == 2 and nic.lproc_of(5) == 1
+
+
+def test_effective_context_isolates_colocated_processes():
+    nic = shared_nic(rpn=2)
+    same_context = 1
+    a = nic.effective_context(same_context, owner_rank=0)
+    b = nic.effective_context(same_context, owner_rank=1)
+    assert a != b
+    # single-process NICs keep the identity fold
+    single = shared_nic(rpn=1)
+    assert single.effective_context(same_context, owner_rank=0) == same_context
+
+
+def test_effective_context_rejects_overflowing_contexts():
+    nic = shared_nic(rpn=2)
+    with pytest.raises(ValueError, match="reserved"):
+        nic.effective_context(1 << Nic.PID_CONTEXT_SHIFT, owner_rank=0)
+
+
+def test_attach_completion_fifo_validates_lproc():
+    nic = shared_nic(rpn=2)
+    nic.attach_completion_fifo(1, Fifo())
+    with pytest.raises(ValueError):
+        nic.attach_completion_fifo(0, Fifo())  # lproc 0 attaches at build
+    with pytest.raises(ValueError):
+        nic.attach_completion_fifo(2, Fifo())  # beyond ranks_per_node
+
+
+def test_world_validates_rank_node_fill():
+    with pytest.raises(ValueError, match="do not fill"):
+        MpiWorld(WorldConfig(num_ranks=3, ranks_per_node=2))
+
+
+# ------------------------------------------------------------ end to end
+@pytest.mark.parametrize("nic", PRESETS, ids=PRESET_IDS)
+def test_colocated_ranks_do_not_cross_match(nic):
+    """Ranks 2 and 3 share a node; same-tag messages to each must land at
+    the right one even though they sit in the same queues/ALPU."""
+
+    def sender(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(dest=2, tag=5, size=64)
+            yield from mpi.send(dest=3, tag=5, size=128)
+        yield from mpi.finalize()
+
+    def receiver(mpi):
+        yield from mpi.init()
+        request = yield from mpi.recv(source=0, tag=5, size=128)
+        yield from mpi.finalize()
+        return request.status.count
+
+    def idle(mpi):
+        yield from mpi.init()
+        yield from mpi.finalize()
+
+    world = MpiWorld(WorldConfig(num_ranks=4, ranks_per_node=2, nic=nic))
+    results = world.run({0: sender, 1: idle, 2: receiver, 3: receiver})
+    assert results[2] == 64
+    assert results[3] == 128
+    assert len(world.nics) == 2
+
+
+@pytest.mark.parametrize("nic", PRESETS, ids=PRESET_IDS)
+def test_same_node_communication(nic):
+    """Loopback: co-located ranks exchanging through their shared NIC."""
+
+    def left(mpi):
+        yield from mpi.init()
+        yield from mpi.send(dest=1, tag=1, size=64)
+        request = yield from mpi.recv(source=1, tag=2, size=64)
+        yield from mpi.finalize()
+        return request.done
+
+    def right(mpi):
+        yield from mpi.init()
+        yield from mpi.recv(source=0, tag=1, size=64)
+        yield from mpi.send(dest=0, tag=2, size=64)
+        yield from mpi.finalize()
+
+    world = MpiWorld(WorldConfig(num_ranks=2, ranks_per_node=2, nic=nic))
+    results = world.run({0: left, 1: right})
+    assert results[0] is True
+    assert len(world.nics) == 1  # one node, one shared NIC
+
+
+@pytest.mark.parametrize("nic", PRESETS, ids=PRESET_IDS)
+def test_wildcards_respect_process_boundaries(nic):
+    """An ANY_SOURCE/ANY_TAG receive must only take its own messages."""
+
+    def sender(mpi):
+        yield from mpi.init()
+        yield from mpi.send(dest=2, tag=7, size=0)
+        yield from mpi.send(dest=3, tag=8, size=0)
+        yield from mpi.finalize()
+
+    def collector(mpi):
+        yield from mpi.init()
+        request = yield from mpi.recv(source=ANY_SOURCE, tag=ANY_TAG, size=0)
+        yield from mpi.finalize()
+        return request.status.tag
+
+    def idle(mpi):
+        yield from mpi.init()
+        yield from mpi.finalize()
+
+    world = MpiWorld(WorldConfig(num_ranks=4, ranks_per_node=2, nic=nic))
+    results = world.run({0: sender, 1: idle, 2: collector, 3: collector})
+    assert results[2] == 7
+    assert results[3] == 8
+
+
+def test_four_rank_barrier_on_shared_nics():
+    def program(mpi):
+        yield from mpi.init()
+        for _ in range(3):
+            yield from mpi.barrier()
+        yield from mpi.finalize()
+        return True
+
+    world = MpiWorld(WorldConfig(num_ranks=4, ranks_per_node=2))
+    results = world.run({r: program for r in range(4)})
+    assert all(results.values())

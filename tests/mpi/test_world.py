@@ -1,0 +1,80 @@
+"""Tests for system assembly and the job harness."""
+
+import pytest
+
+from repro.mpi.world import MpiWorld, WorldConfig
+from repro.nic.nic import NicConfig
+
+
+def test_world_builds_one_node_per_rank():
+    world = MpiWorld(WorldConfig(num_ranks=3))
+    assert len(world.nics) == 3
+    assert len(world.hosts) == 3
+    assert world.comm_world.size == 3
+
+
+def test_missing_program_rejected():
+    world = MpiWorld(WorldConfig(num_ranks=2))
+    with pytest.raises(ValueError, match="ranks \\[1\\]"):
+        world.run({0: lambda mpi: iter(())})
+
+
+def test_deadline_detects_stalls():
+    def stuck(mpi):
+        yield from mpi.init()
+        yield from mpi.recv(source=1, tag=0, size=0)  # never sent
+
+    def idle(mpi):
+        yield from mpi.init()
+        yield from mpi.finalize()
+
+    world = MpiWorld(WorldConfig(num_ranks=2))
+    with pytest.raises(RuntimeError, match="deadlock"):
+        world.run({0: stuck, 1: idle}, deadline_us=500.0)
+
+
+def test_return_values_collected_per_rank():
+    def program(mpi):
+        yield from mpi.init()
+        yield from mpi.finalize()
+        return mpi.rank * 10
+
+    world = MpiWorld(WorldConfig(num_ranks=2))
+    assert world.run({0: program, 1: program}) == {0: 0, 1: 10}
+
+
+def test_per_rank_nic_overrides():
+    config = WorldConfig(
+        num_ranks=2,
+        nic=NicConfig.baseline(),
+        nic_overrides={1: NicConfig.with_alpu(32, 8)},
+    )
+    world = MpiWorld(config)
+    assert world.nics[0].posted_device is None
+    assert world.nics[1].posted_device is not None
+    assert world.nics[1].posted_device.alpu.capacity == 32
+
+
+def test_simulated_time_advances():
+    def program(mpi):
+        yield from mpi.init()
+        if mpi.rank == 0:
+            yield from mpi.send(dest=1, tag=0, size=0)
+        else:
+            yield from mpi.recv(source=0, tag=0, size=0)
+        yield from mpi.finalize()
+
+    world = MpiWorld(WorldConfig(num_ranks=2))
+    world.run({0: program, 1: program})
+    assert world.now_ps > 200_000  # at least the wire latency
+
+
+def test_engine_stops_at_last_program_not_at_deadline():
+    def program(mpi):
+        yield from mpi.init()
+        yield from mpi.finalize()
+
+    world = MpiWorld(WorldConfig(num_ranks=2))
+    world.run({0: program, 1: program}, deadline_us=1_000_000)
+    # the clock must reflect program completion, not the huge deadline
+    assert world.now_ps < 1_000_000_000

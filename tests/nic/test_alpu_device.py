@@ -1,0 +1,111 @@
+"""Unit tests for the ALPU bus device: FIFOs, timing, ordering."""
+
+from repro.core.alpu import AlpuConfig
+from repro.core.commands import (
+    Insert,
+    MatchFailure,
+    MatchSuccess,
+    StartAcknowledge,
+    StartInsert,
+    StopInsert,
+)
+from repro.core.match import MatchRequest
+from repro.nic.alpu_device import AlpuDevice
+from repro.sim.engine import Engine
+from repro.sim.units import ns
+
+
+def make(engine=None, **cfg):
+    engine = engine or Engine()
+    device = AlpuDevice(
+        engine, "dev", AlpuConfig(total_cells=16, block_size=4, **cfg)
+    )
+    return engine, device
+
+
+def drive_insert(engine, device, bits, mask, tag):
+    device.bus_write_command(StartInsert())
+    device.bus_write_command(Insert(bits, mask, tag))
+    device.bus_write_command(StopInsert())
+    engine.run()
+
+
+def test_match_takes_seven_alpu_cycles():
+    engine, device = make()
+    device.hw_push_header(MatchRequest(bits=1))
+    engine.run()
+    # bus not involved for hardware pushes; only the 7-cycle pipeline
+    assert engine.now == 14_000
+    assert device.result_fifo.pop() == MatchFailure()
+
+
+def test_bus_write_costs_one_bus_latency_and_delivers_later():
+    engine, device = make()
+    cost = device.bus_write_command(StartInsert())
+    assert cost == ns(20)
+    assert device.command_fifo.empty  # not yet delivered
+    engine.run()
+    assert device.result_fifo.pop() == StartAcknowledge(free_entries=16)
+
+
+def test_bus_read_costs_round_trip_even_when_empty():
+    _, device = make()
+    cost, response = device.bus_read_result()
+    assert cost == ns(40)
+    assert response is None
+
+
+def test_insert_then_match_through_the_device():
+    engine, device = make()
+    drive_insert(engine, device, bits=5, mask=0, tag=3)
+    device.hw_push_header(MatchRequest(bits=5))
+    engine.run()
+    responses = device.result_fifo.drain()
+    assert responses == [StartAcknowledge(free_entries=16), MatchSuccess(tag=3)]
+
+
+def test_commands_preempt_waiting_headers():
+    """Fig. 3: at the completion of the current match, commands win."""
+    engine, device = make()
+    # stage both a header and a command at the same instant
+    device.hw_push_header(MatchRequest(bits=1))
+    device.bus_write_command(StartInsert())
+    engine.run()
+    responses = device.result_fifo.drain()
+    # the header was popped first (it was there before the command's bus
+    # delivery), so its failure precedes the acknowledge
+    assert responses == [MatchFailure(), StartAcknowledge(free_entries=16)]
+
+
+def test_held_failure_resolves_after_stop_insert():
+    engine, device = make()
+    device.bus_write_command(StartInsert())
+    engine.run()
+    device.hw_push_header(MatchRequest(bits=9))  # will fail; held
+    engine.run()
+    assert device.result_fifo.drain() == [StartAcknowledge(free_entries=16)]
+    device.bus_write_command(Insert(9, 0, 7))  # retried -> success
+    engine.run()
+    assert device.result_fifo.drain() == [MatchSuccess(tag=7)]
+    device.bus_write_command(StopInsert())
+    engine.run()
+    assert device.result_fifo.drain() == []
+
+
+def test_result_order_matches_header_order():
+    engine, device = make()
+    drive_insert(engine, device, bits=1, mask=0, tag=11)
+    device.result_fifo.drain()
+    device.hw_push_header(MatchRequest(bits=2))  # fail
+    device.hw_push_header(MatchRequest(bits=1))  # success
+    engine.run()
+    assert device.result_fifo.drain() == [MatchFailure(), MatchSuccess(tag=11)]
+
+
+def test_pipeline_serializes_back_to_back_matches():
+    engine, device = make()
+    device.hw_push_header(MatchRequest(bits=1))
+    device.hw_push_header(MatchRequest(bits=2))
+    engine.run()
+    # no execution overlap: two matches take 2 x 7 cycles
+    assert engine.now == 28_000

@@ -1,0 +1,59 @@
+"""Unit tests for the DMA engines."""
+
+import pytest
+
+from repro.nic.dma import DmaConfig, DmaEngine
+from repro.sim.engine import Engine
+from repro.sim.units import ns
+
+
+def test_transfer_time_is_setup_plus_streaming():
+    engine = Engine()
+    dma = DmaEngine(engine, "dma", DmaConfig(setup_ps=ns(50), bandwidth_bytes_per_ps=0.004))
+    # 4 GB/s = 0.004 B/ps -> 4096 bytes = 1,024,000 ps
+    assert dma.transfer_time_ps(4096) == ns(50) + 1_024_000
+    assert dma.transfer_time_ps(0) == ns(50)
+
+
+def test_completion_fires_with_cookie():
+    engine = Engine()
+    dma = DmaEngine(engine, "dma")
+    finish = dma.start(1024, cookie="payload")
+    engine.run()
+    assert engine.now == finish
+    assert dma.completed.popleft() == "payload"
+    assert dma.done.pulse_count == 1
+
+
+def test_transfers_serialize_in_issue_order():
+    engine = Engine()
+    dma = DmaEngine(engine, "dma")
+    first = dma.start(4096, cookie="a")
+    second = dma.start(4096, cookie="b")
+    assert second == first + dma.transfer_time_ps(4096)
+    engine.run()
+    assert list(dma.completed) == ["a", "b"]
+
+
+def test_busy_flag():
+    engine = Engine()
+    dma = DmaEngine(engine, "dma")
+    dma.start(4096, cookie=None)
+    assert dma.busy
+    engine.run()
+    assert not dma.busy
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        DmaEngine(Engine(), "dma").start(-1, cookie=None)
+
+
+def test_statistics():
+    engine = Engine()
+    dma = DmaEngine(engine, "dma")
+    dma.start(100, cookie=None)
+    dma.start(200, cookie=None)
+    engine.run()
+    assert dma.transfers == 2
+    assert dma.bytes_moved == 300

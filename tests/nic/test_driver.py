@@ -1,0 +1,215 @@
+"""Unit tests for the ALPU queue driver (Section IV heuristics).
+
+The driver is a generator-based firmware helper, so these tests run it
+inside small simulation processes against a real device.
+"""
+
+import pytest
+
+from repro.core.alpu import AlpuConfig
+from repro.core.commands import MatchFailure, MatchSuccess
+from repro.core.match import MatchRequest
+from repro.memory.layout import AddressAllocator
+from repro.nic.alpu_device import AlpuDevice
+from repro.nic.driver import AlpuQueueDriver, DriverConfig
+from repro.nic.queues import EntryKind, NicQueue
+from repro.proc.costmodel import NicCostModel
+from repro.proc.processor import Processor
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+
+
+def build(driver_config=DriverConfig(), total_cells=16, block_size=4):
+    engine = Engine()
+    device = AlpuDevice(
+        engine, "dev", AlpuConfig(total_cells=total_cells, block_size=block_size)
+    )
+    queue = NicQueue("q", AddressAllocator())
+    proc = Processor(engine, "nicproc", 500e6)
+    driver = AlpuQueueDriver(device, queue, proc, NicCostModel(), driver_config)
+    return engine, device, queue, driver
+
+
+def fill(queue, count, bits_base=0):
+    for i in range(count):
+        entry = queue.allocate_entry(
+            EntryKind.POSTED_RECV, bits=bits_base + i, mask=0, size=0
+        )
+        queue.append(entry)
+
+
+def run_gen(engine, generator):
+    process = Process(engine, generator)
+    engine.run()
+    if process.error:
+        raise process.error
+    return process.result
+
+
+def test_update_moves_the_whole_suffix():
+    engine, device, queue, driver = build()
+    fill(queue, 5)
+    moved = run_gen(engine, driver.update())
+    assert moved == 5
+    assert queue.alpu_count == 5
+    assert device.alpu.occupancy == 5
+    assert driver.tracked_occupancy == 5
+    assert driver.batches == 1
+
+
+def test_update_with_empty_suffix_is_a_no_op():
+    engine, device, queue, driver = build()
+    assert run_gen(engine, driver.update()) == 0
+    assert driver.batches == 0
+
+
+def test_threshold_defers_engagement():
+    engine, device, queue, driver = build(DriverConfig(use_threshold=5))
+    fill(queue, 3)
+    assert run_gen(engine, driver.update()) == 0  # below the threshold
+    fill(queue, 3)
+    assert run_gen(engine, driver.update()) == 6  # crossed it
+    # once engaged, the threshold no longer gates top-ups
+    fill(queue, 1)
+    assert run_gen(engine, driver.update()) == 1
+
+
+def test_threshold_gates_header_replication():
+    """Section IV-C: delivery to the ALPU stays off until engagement."""
+    engine, device, queue, driver = build(DriverConfig(use_threshold=5))
+    assert not driver.engaged
+    assert not device.hw_delivery_enabled
+    fill(queue, 5)
+    run_gen(engine, driver.update())
+    assert driver.engaged
+    assert device.hw_delivery_enabled
+
+
+def test_driver_disengages_when_queue_drains():
+    engine, device, queue, driver = build(DriverConfig(use_threshold=5))
+    fill(queue, 5)
+    run_gen(engine, driver.update())
+    assert driver.engaged
+    # drain the ALPU through matches
+    for bits in range(5):
+        device.hw_push_header(MatchRequest(bits=bits))
+    engine.run()
+
+    def consume_all():
+        for _ in range(5):
+            response = yield from driver.read_result()
+            entry = driver.take_matched_entry(response)
+            queue.remove(entry)
+
+    run_gen(engine, consume_all())
+    assert driver.tracked_occupancy == 0
+    run_gen(engine, driver.update())
+    assert not driver.engaged
+    assert not device.hw_delivery_enabled
+
+
+def test_default_threshold_keeps_replication_always_on():
+    engine, device, queue, driver = build(DriverConfig(use_threshold=1))
+    assert driver.engaged
+    run_gen(engine, driver.update())
+    assert driver.engaged
+
+
+def test_max_batch_caps_each_update():
+    engine, device, queue, driver = build(DriverConfig(max_batch=2))
+    fill(queue, 5)
+    assert run_gen(engine, driver.update()) == 2
+    assert run_gen(engine, driver.update()) == 2
+    assert run_gen(engine, driver.update()) == 1
+
+
+def test_update_never_exceeds_capacity():
+    engine, device, queue, driver = build(total_cells=8, block_size=4)
+    fill(queue, 12)
+    assert run_gen(engine, driver.update()) == 8
+    assert run_gen(engine, driver.update()) == 0  # full
+    assert len(queue.software_suffix()) == 4
+
+
+def test_match_success_roundtrip_through_tags():
+    engine, device, queue, driver = build()
+    fill(queue, 3, bits_base=100)
+    run_gen(engine, driver.update())
+    device.hw_push_header(MatchRequest(bits=101))
+    engine.run()
+
+    def consume():
+        response = yield from driver.read_result()
+        return response
+
+    response = run_gen(engine, consume())
+    assert isinstance(response, MatchSuccess)
+    entry = driver.take_matched_entry(response)
+    assert entry.bits == 101
+    assert driver.tracked_occupancy == 2
+
+
+def test_tags_recycle_after_matches():
+    engine, device, queue, driver = build(total_cells=4, block_size=4)
+    free_before = len(driver._free_tags)
+    fill(queue, 2)
+    run_gen(engine, driver.update())
+    assert len(driver._free_tags) == free_before - 2
+    device.hw_push_header(MatchRequest(bits=0))
+    engine.run()
+
+    def consume():
+        response = yield from driver.read_result()
+        return response
+
+    response = run_gen(engine, consume())
+    queue.remove(driver.take_matched_entry(response))
+    assert len(driver._free_tags) == free_before - 1
+
+
+def test_update_aborts_when_a_failure_is_outstanding():
+    """The Section IV-C race: a failed match must be handled against the
+    suffix as it stood, so the batch gives way."""
+    engine, device, queue, driver = build()
+    fill(queue, 2)
+    # a header that fails in match mode, response already in the FIFO
+    device.hw_push_header(MatchRequest(bits=999))
+    engine.run()
+    moved = run_gen(engine, driver.update())
+    assert moved == 0
+    assert driver.aborted_batches == 1
+    assert queue.alpu_count == 0  # nothing moved
+    # the failure is now buffered for the firmware's result read
+    assert any(isinstance(r, MatchFailure) for r in driver._buffered)
+    # and update keeps refusing until the failure is consumed
+    assert run_gen(engine, driver.update()) == 0
+
+    def consume():
+        response = yield from driver.read_result()
+        return response
+
+    assert isinstance(run_gen(engine, consume()), MatchFailure)
+    assert run_gen(engine, driver.update()) == 2  # now it proceeds
+
+
+def test_buffered_successes_do_not_block_updates():
+    engine, device, queue, driver = build()
+    fill(queue, 2, bits_base=50)
+    run_gen(engine, driver.update())
+    # a success sitting in the FIFO when the next batch starts is fine
+    device.hw_push_header(MatchRequest(bits=50))
+    engine.run()
+    fill(queue, 1, bits_base=60)
+    moved = run_gen(engine, driver.update())
+    assert moved == 1
+    assert driver.aborted_batches == 0
+    assert any(isinstance(r, MatchSuccess) for r in driver._buffered)
+
+
+def test_software_removal_assertion_guards_prefix_consistency():
+    engine, device, queue, driver = build()
+    fill(queue, 2)
+    run_gen(engine, driver.update())
+    prefix_entry = queue.entries[0]
+    with pytest.raises(AssertionError):
+        driver.forget_software_removal(prefix_entry)

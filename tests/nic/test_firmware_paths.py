@@ -1,0 +1,190 @@
+"""End-to-end coverage of the firmware's protocol paths.
+
+Each test runs a full two-node simulation shaped to force one specific
+firmware path: eager expected/unexpected, rendezvous expected/unexpected,
+payload parking, DMA serialization, and the statistics counters.
+"""
+
+import pytest
+
+from repro.mpi.world import MpiWorld, WorldConfig
+from repro.nic.firmware import FirmwareConfig
+from repro.nic.nic import NicConfig
+
+PRESETS = [
+    NicConfig.baseline(),
+    NicConfig.with_alpu(total_cells=32, block_size=8),
+]
+PRESET_IDS = ["baseline", "alpu32"]
+
+
+def run_pair(sender, receiver, nic):
+    world = MpiWorld(WorldConfig(num_ranks=2, nic=nic))
+    results = world.run({0: sender, 1: receiver}, deadline_us=200_000)
+    return world, results
+
+
+@pytest.mark.parametrize("nic", PRESETS, ids=PRESET_IDS)
+def test_eager_expected_path(nic):
+    """Receive posted first; eager payload DMAs straight to the host."""
+
+    def sender(mpi):
+        yield from mpi.init()
+        yield from mpi.recv(source=1, tag=9, size=0)  # wait until posted
+        yield from mpi.send(dest=1, tag=1, size=1024)
+        yield from mpi.finalize()
+
+    def receiver(mpi):
+        yield from mpi.init()
+        request = yield from mpi.irecv(source=0, tag=1, size=1024)
+        yield from mpi.send(dest=0, tag=9, size=0)
+        yield from mpi.wait(request)
+        yield from mpi.finalize()
+        return request.status
+
+    world, results = run_pair(sender, receiver, nic)
+    status = results[1]
+    assert status.count == 1024 and status.source == 0 and status.tag == 1
+    assert world.nics[1].firmware.headers_matched >= 1
+    assert world.nics[1].rx_dma.bytes_moved >= 1024
+
+
+@pytest.mark.parametrize("nic", PRESETS, ids=PRESET_IDS)
+def test_eager_unexpected_payload_parks_then_delivers(nic):
+    """Message first, receive later: payload parks in NIC memory."""
+
+    def sender(mpi):
+        yield from mpi.init()
+        yield from mpi.send(dest=1, tag=1, size=2048)
+        yield from mpi.send(dest=1, tag=2, size=0)  # marker
+        yield from mpi.finalize()
+
+    def receiver(mpi):
+        yield from mpi.init()
+        yield from mpi.recv(source=0, tag=2, size=0)  # tag-1 is queued now
+        request = yield from mpi.recv(source=0, tag=1, size=2048)
+        yield from mpi.finalize()
+        return request.status
+
+    world, results = run_pair(sender, receiver, nic)
+    assert results[1].count == 2048
+    firmware = world.nics[1].firmware
+    assert firmware.headers_unexpected >= 1
+
+
+@pytest.mark.parametrize("nic", PRESETS, ids=PRESET_IDS)
+def test_rendezvous_expected_path(nic):
+    """RTS meets a posted receive: CTS + streamed DATA."""
+    size = 32 * 1024
+
+    def sender(mpi):
+        yield from mpi.init()
+        yield from mpi.recv(source=1, tag=9, size=0)
+        yield from mpi.send(dest=1, tag=1, size=size)
+        yield from mpi.finalize()
+
+    def receiver(mpi):
+        yield from mpi.init()
+        request = yield from mpi.irecv(source=0, tag=1, size=size)
+        yield from mpi.send(dest=0, tag=9, size=0)
+        yield from mpi.wait(request)
+        yield from mpi.finalize()
+        return request.latency_ps
+
+    world, results = run_pair(sender, receiver, nic)
+    # three wire crossings minimum (RTS, CTS, DATA)
+    assert results[1] > 3 * 200_000
+    assert world.nics[0].tx_dma.bytes_moved >= size
+
+
+@pytest.mark.parametrize("nic", PRESETS, ids=PRESET_IDS)
+def test_rendezvous_unexpected_path(nic):
+    """RTS arrives before the receive: parked, CTS granted at post time."""
+    size = 32 * 1024
+
+    def sender(mpi):
+        yield from mpi.init()
+        big = yield from mpi.isend(dest=1, tag=1, size=size)
+        yield from mpi.send(dest=1, tag=2, size=0)
+        yield from mpi.wait(big)
+        yield from mpi.finalize()
+
+    def receiver(mpi):
+        yield from mpi.init()
+        yield from mpi.recv(source=0, tag=2, size=0)
+        request = yield from mpi.recv(source=0, tag=1, size=size)
+        yield from mpi.finalize()
+        return request.status.count
+
+    world, results = run_pair(sender, receiver, nic)
+    assert results[1] == size
+    assert world.nics[1].firmware.headers_unexpected >= 1
+
+
+@pytest.mark.parametrize("nic", PRESETS, ids=PRESET_IDS)
+def test_back_to_back_payloads_serialize_on_the_dma(nic):
+    """Multiple eager payloads share one Rx DMA engine."""
+    count, size = 4, 4096
+
+    def sender(mpi):
+        yield from mpi.init()
+        yield from mpi.recv(source=1, tag=9, size=0)
+        for i in range(count):
+            yield from mpi.send(dest=1, tag=i, size=size)
+        yield from mpi.finalize()
+
+    def receiver(mpi):
+        yield from mpi.init()
+        requests = []
+        for i in range(count):
+            req = yield from mpi.irecv(source=0, tag=i, size=size)
+            requests.append(req)
+        yield from mpi.send(dest=0, tag=9, size=0)
+        yield from mpi.waitall(requests)
+        yield from mpi.finalize()
+
+    world, _ = run_pair(sender, receiver, nic)
+    rx = world.nics[1].rx_dma
+    assert rx.transfers == count
+    assert rx.bytes_moved == count * size
+
+
+def test_queue_statistics_track_peak_depth():
+    def sender(mpi):
+        yield from mpi.init()
+        yield from mpi.recv(source=1, tag=99, size=0)
+        for i in range(6):
+            yield from mpi.send(dest=1, tag=i, size=0)
+        yield from mpi.finalize()
+
+    def receiver(mpi):
+        yield from mpi.init()
+        requests = []
+        for i in range(6):
+            req = yield from mpi.irecv(source=0, tag=i, size=0)
+            requests.append(req)
+        yield from mpi.send(dest=0, tag=99, size=0)
+        yield from mpi.waitall(requests)
+        yield from mpi.finalize()
+
+    world, _ = run_pair(sender, receiver, NicConfig.baseline())
+    assert world.nics[1].posted_recv_q.max_length == 6
+    assert len(world.nics[1].posted_recv_q) == 0  # all consumed
+
+
+def test_send_queue_drains_completely():
+    def sender(mpi):
+        yield from mpi.init()
+        for i in range(5):
+            yield from mpi.send(dest=1, tag=i, size=512)
+        yield from mpi.finalize()
+
+    def receiver(mpi):
+        yield from mpi.init()
+        for i in range(5):
+            yield from mpi.recv(source=0, tag=i, size=512)
+        yield from mpi.finalize()
+
+    world, _ = run_pair(sender, receiver, NicConfig.baseline())
+    assert len(world.nics[0].send_q) == 0
+    assert world.nics[0].send_q.max_length >= 1

@@ -1,0 +1,144 @@
+"""Unit tests for the event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_starts_at_time_zero():
+    assert Engine().now == 0
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(30, lambda: fired.append("c"))
+    engine.schedule(10, lambda: fired.append("a"))
+    engine.schedule(20, lambda: fired.append("b"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    engine = Engine()
+    fired = []
+    for label in "abcde":
+        engine.schedule(5, lambda label=label: fired.append(label))
+    engine.run()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_same_time_ties():
+    engine = Engine()
+    fired = []
+    engine.schedule(5, lambda: fired.append("low"), priority=1)
+    engine.schedule(5, lambda: fired.append("high"), priority=0)
+    engine.run()
+    assert fired == ["high", "low"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(100, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [100]
+
+
+def test_schedule_at_past_rejected():
+    engine = Engine()
+    engine.schedule(50, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(10, lambda: None)
+
+
+def test_events_can_schedule_events():
+    engine = Engine()
+    fired = []
+
+    def first():
+        fired.append(("first", engine.now))
+        engine.schedule(7, lambda: fired.append(("second", engine.now)))
+
+    engine.schedule(3, first)
+    engine.run()
+    assert fired == [("first", 3), ("second", 10)]
+
+
+def test_zero_delay_event_runs_after_current_instant_peers():
+    engine = Engine()
+    fired = []
+
+    def first():
+        engine.schedule(0, lambda: fired.append("chained"))
+        fired.append("first")
+
+    engine.schedule(5, first)
+    engine.schedule(5, lambda: fired.append("peer"))
+    engine.run()
+    assert fired == ["first", "peer", "chained"]
+
+
+def test_cancellation_skips_event():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule(10, lambda: fired.append("cancelled"))
+    engine.schedule(5, lambda: fired.append("kept"))
+    handle.cancel()
+    assert handle.cancelled
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_run_until_leaves_future_events_pending():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append("early"))
+    engine.schedule(100, lambda: fired.append("late"))
+    engine.run(until=50)
+    assert fired == ["early"]
+    assert engine.now == 50
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_executes_events_at_boundary():
+    engine = Engine()
+    fired = []
+    engine.schedule(50, lambda: fired.append("boundary"))
+    engine.run(until=50)
+    assert fired == ["boundary"]
+
+
+def test_stop_halts_run_without_clock_jump():
+    engine = Engine()
+    engine.schedule(10, engine.stop)
+    engine.schedule(1000, lambda: None)
+    engine.run(until=10_000)
+    assert engine.now == 10
+
+
+def test_max_events_guards_livelock():
+    engine = Engine()
+
+    def respawn():
+        engine.schedule(1, respawn)
+
+    engine.schedule(1, respawn)
+    with pytest.raises(SimulationError, match="max_events"):
+        engine.run(max_events=100)
+
+
+def test_events_fired_counter():
+    engine = Engine()
+    for _ in range(5):
+        engine.schedule(1, lambda: None)
+    engine.run()
+    assert engine.events_fired == 5

@@ -1,0 +1,74 @@
+"""Unit tests for latency links."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.fifo import Fifo
+from repro.sim.link import Link
+
+
+def make(engine, **kwargs):
+    dest = Fifo()
+    link = Link(engine, "l", dest, **kwargs)
+    return link, dest
+
+
+def test_pure_latency_delivery():
+    engine = Engine()
+    link, dest = make(engine, latency_ps=1000)
+    deliver_at = link.send("msg")
+    assert deliver_at == 1000
+    engine.run()
+    assert dest.pop() == "msg"
+    assert engine.now == 1000
+
+
+def test_in_order_delivery_same_latency():
+    engine = Engine()
+    link, dest = make(engine, latency_ps=500)
+    link.send("a")
+    link.send("b")
+    engine.run()
+    assert dest.drain() == ["a", "b"]
+
+
+def test_bandwidth_serializes_messages():
+    engine = Engine()
+    # 1 byte per ps: a 100-byte message occupies the link for 100 ps
+    link, dest = make(engine, latency_ps=1000, bandwidth_bytes_per_ps=1.0)
+    first = link.send("big", size_bytes=100)
+    second = link.send("next", size_bytes=100)
+    assert first == 1100
+    assert second == 1200  # queued behind the first's serialization
+    engine.run()
+    assert dest.drain() == ["big", "next"]
+
+
+def test_zero_size_messages_do_not_occupy_bandwidth():
+    engine = Engine()
+    link, _ = make(engine, latency_ps=100, bandwidth_bytes_per_ps=1.0)
+    assert link.send("a", size_bytes=0) == 100
+    assert link.send("b", size_bytes=0) == 100
+
+
+def test_on_deliver_callback():
+    engine = Engine()
+    seen = []
+    dest = Fifo()
+    link = Link(engine, "l", dest, latency_ps=10, on_deliver=seen.append)
+    link.send("x")
+    engine.run()
+    assert seen == ["x"]
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        make(Engine(), latency_ps=-1)
+
+
+def test_message_counter():
+    engine = Engine()
+    link, _ = make(engine, latency_ps=1)
+    link.send("a")
+    link.send("b")
+    assert link.messages_sent == 2

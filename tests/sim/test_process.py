@@ -1,0 +1,199 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Process, ProcessState, delay, now, wait_on
+from repro.sim.signal import Signal
+
+
+def test_delay_advances_local_time():
+    engine = Engine()
+    times = []
+
+    def body():
+        times.append((yield now()))
+        yield delay(100)
+        times.append((yield now()))
+        yield delay(50)
+        times.append((yield now()))
+
+    Process(engine, body())
+    engine.run()
+    assert times == [0, 100, 150]
+
+
+def test_return_value_captured():
+    engine = Engine()
+
+    def body():
+        yield delay(1)
+        return 42
+
+    process = Process(engine, body())
+    engine.run()
+    assert process.finished
+    assert process.result == 42
+    assert process.state is ProcessState.FINISHED
+
+
+def test_wait_on_pulse():
+    engine = Engine()
+    signal = Signal()
+    log = []
+
+    def waiter():
+        woke = yield wait_on(signal)
+        log.append(("woke", woke, engine.now))
+
+    def firer():
+        yield delay(500)
+        signal.pulse()
+
+    Process(engine, waiter())
+    Process(engine, firer())
+    engine.run()
+    assert log == [("woke", True, 500)]
+
+
+def test_wait_on_set_level_returns_immediately():
+    engine = Engine()
+    signal = Signal()
+    signal.set()
+    log = []
+
+    def waiter():
+        yield wait_on(signal)
+        log.append(engine.now)
+
+    Process(engine, waiter())
+    engine.run()
+    assert log == [0]
+
+
+def test_wait_on_timeout_returns_false():
+    engine = Engine()
+    signal = Signal()
+    log = []
+
+    def waiter():
+        woke = yield wait_on(signal, timeout_ps=250)
+        log.append((woke, engine.now))
+
+    Process(engine, waiter())
+    engine.run()
+    assert log == [(False, 250)]
+
+
+def test_pulse_cancels_pending_timeout():
+    engine = Engine()
+    signal = Signal()
+    log = []
+
+    def waiter():
+        woke = yield wait_on(signal, timeout_ps=1000)
+        log.append((woke, engine.now))
+        # a second wait proves the stale timeout cannot fire into it
+        woke2 = yield wait_on(signal, timeout_ps=5000)
+        log.append((woke2, engine.now))
+
+    def firer():
+        yield delay(100)
+        signal.pulse()
+
+    Process(engine, waiter())
+    Process(engine, firer())
+    engine.run()
+    assert log == [(True, 100), (False, 5100)]
+
+
+def test_wait_on_another_process():
+    engine = Engine()
+    log = []
+
+    def worker():
+        yield delay(300)
+        return "payload"
+
+    worker_proc = Process(engine, worker())
+
+    def boss():
+        yield worker_proc
+        log.append((worker_proc.result, engine.now))
+
+    Process(engine, boss())
+    engine.run()
+    assert log == [("payload", 300)]
+
+
+def test_deferred_start():
+    engine = Engine()
+    log = []
+
+    def body():
+        log.append(engine.now)
+        yield delay(1)
+
+    process = Process(engine, body(), start=False)
+    engine.schedule(777, process.start)
+    engine.run()
+    assert log == [777]
+
+
+def test_double_start_rejected():
+    engine = Engine()
+
+    def body():
+        yield delay(1)
+
+    process = Process(engine, body())
+    engine.run()
+    with pytest.raises(SimulationError):
+        process.start()
+
+
+def test_failure_recorded_and_raised():
+    engine = Engine()
+
+    def body():
+        yield delay(1)
+        raise ValueError("boom")
+
+    process = Process(engine, body())
+    with pytest.raises(ValueError, match="boom"):
+        engine.run()
+    assert process.state is ProcessState.FAILED
+    assert isinstance(process.error, ValueError)
+
+
+def test_unknown_yield_command_rejected():
+    engine = Engine()
+
+    def body():
+        yield "nonsense"
+
+    Process(engine, body())
+    with pytest.raises(SimulationError, match="unknown command"):
+        engine.run()
+
+
+def test_negative_delay_rejected_at_construction():
+    with pytest.raises(ValueError):
+        delay(-5)
+
+
+def test_yield_from_subgenerators_compose():
+    engine = Engine()
+
+    def inner():
+        yield delay(10)
+        return 5
+
+    def outer():
+        value = yield from inner()
+        yield delay(value)
+        return engine.now
+
+    process = Process(engine, outer())
+    engine.run()
+    assert process.result == 15

@@ -1,0 +1,27 @@
+"""Unit tests for time-unit helpers."""
+
+from repro.sim.units import PS_PER_NS, PS_PER_US, cycles_to_ps, ns, ps_to_ns, us
+
+
+def test_ns_and_us():
+    assert ns(1) == PS_PER_NS
+    assert ns(20) == 20_000
+    assert ns(0.5) == 500
+    assert us(1) == PS_PER_US
+    assert us(2.5) == 2_500_000
+
+
+def test_cycles_exact_for_paper_clocks():
+    # 2 GHz host: 500 ps; 500 MHz NIC/ALPU: 2000 ps -- both exact
+    assert cycles_to_ps(1, 2e9) == 500
+    assert cycles_to_ps(1, 500e6) == 2000
+    assert cycles_to_ps(7, 500e6) == 14_000
+
+
+def test_cycles_scale_linearly():
+    one = cycles_to_ps(1, 500e6)
+    assert cycles_to_ps(1000, 500e6) == 1000 * one
+
+
+def test_ps_to_ns_roundtrip():
+    assert ps_to_ns(ns(123.0)) == 123.0

@@ -1,0 +1,48 @@
+"""Smoke tests: the example scripts must run and report sane results.
+
+Examples are documentation that executes; these tests keep them honest.
+The slow sweep examples run in reduced form (their heavy variants are the
+benchmark suite's job).
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(name, argv=()):
+    path = f"examples/{name}.py"
+    old_argv = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart")
+    output = capsys.readouterr().out
+    assert "MatchSuccess(tag=1)" in output  # ordering beats specificity
+    assert "half-RTT" in output
+
+
+def test_wildcard_workers_runs(capsys):
+    run_example("wildcard_workers")
+    output = capsys.readouterr().out
+    assert "items/worker=[6, 6, 6]" in output
+
+
+def test_fpga_design_space_runs(capsys):
+    run_example("fpga_design_space")
+    output = capsys.readouterr().out
+    assert "ASIC projection" in output
+    assert "34%" in output  # the paper's ~35% V2P100 utilization claim
+
+
+def test_queue_depth_study_fast_runs(capsys):
+    run_example("queue_depth_study", ["--fast"])
+    output = capsys.readouterr().out
+    assert "break-even at" in output
+    assert "cache knee" in output

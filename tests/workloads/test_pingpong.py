@@ -1,0 +1,36 @@
+"""Tests for the ping-pong workload."""
+
+from repro.nic.nic import NicConfig
+from repro.workloads.pingpong import PingPongParams, run_pingpong
+
+
+def test_zero_byte_latency_is_sub_microsecond_and_stable():
+    result = run_pingpong(
+        NicConfig.baseline(), PingPongParams(iterations=6, warmup=2)
+    )
+    assert len(result.latencies_ns) == 6
+    assert 300 < result.mean_ns < 1500
+    # steady state: post-warmup samples are identical in a deterministic sim
+    assert max(result.latencies_ns) - min(result.latencies_ns) < 100
+
+
+def test_payload_increases_latency():
+    small = run_pingpong(
+        NicConfig.baseline(), PingPongParams(message_size=0, iterations=4, warmup=1)
+    )
+    big = run_pingpong(
+        NicConfig.baseline(),
+        PingPongParams(message_size=4096, iterations=4, warmup=1),
+    )
+    assert big.mean_ns > small.mean_ns + 500  # 4 KB at a few GB/s
+
+
+def test_alpu_adds_small_constant_overhead_at_depth_one():
+    baseline = run_pingpong(
+        NicConfig.baseline(), PingPongParams(iterations=4, warmup=1)
+    )
+    alpu = run_pingpong(
+        NicConfig.with_alpu(128, 16), PingPongParams(iterations=4, warmup=1)
+    )
+    delta = alpu.mean_ns - baseline.mean_ns
+    assert 0 < delta < 200  # tens of nanoseconds, not microseconds

@@ -1,0 +1,78 @@
+"""Tests for the preposted-queue benchmark (small, fast configurations)."""
+
+import pytest
+
+from repro.nic.nic import NicConfig
+from repro.workloads.preposted import PrepostedParams, run_preposted
+from repro.workloads.runner import nic_preset
+
+FAST = dict(iterations=5, warmup=2)
+
+
+def test_match_depth_computation():
+    assert PrepostedParams(queue_length=10, traverse_fraction=1.0).match_depth == 9
+    assert PrepostedParams(queue_length=10, traverse_fraction=0.0).match_depth == 0
+    assert PrepostedParams(queue_length=11, traverse_fraction=0.5).match_depth == 5
+    assert PrepostedParams(queue_length=1, traverse_fraction=1.0).match_depth == 0
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        PrepostedParams(queue_length=0)
+    with pytest.raises(ValueError):
+        PrepostedParams(traverse_fraction=1.5)
+    with pytest.raises(ValueError):
+        PrepostedParams(iterations=0)
+
+
+def test_baseline_latency_grows_with_depth():
+    shallow = run_preposted(
+        NicConfig.baseline(),
+        PrepostedParams(queue_length=32, traverse_fraction=0.0, **FAST),
+    )
+    deep = run_preposted(
+        NicConfig.baseline(),
+        PrepostedParams(queue_length=32, traverse_fraction=1.0, **FAST),
+    )
+    assert deep.median_ns > shallow.median_ns + 200  # ~31 x 14 ns
+    assert deep.entries_traversed > shallow.entries_traversed
+
+
+def test_baseline_traversal_count_matches_depth():
+    params = PrepostedParams(queue_length=16, traverse_fraction=1.0, **FAST)
+    result = run_preposted(NicConfig.baseline(), params)
+    # every timed ping traverses depth+1 = 16 entries
+    assert result.entries_traversed == 16 * params.iterations
+
+
+def test_alpu_is_flat_within_capacity():
+    nic = NicConfig.with_alpu(total_cells=32, block_size=8)
+    short = run_preposted(
+        nic, PrepostedParams(queue_length=2, traverse_fraction=1.0, **FAST)
+    )
+    long = run_preposted(
+        nic, PrepostedParams(queue_length=30, traverse_fraction=1.0, **FAST)
+    )
+    assert abs(long.median_ns - short.median_ns) < 30
+    assert long.entries_traversed == 0  # the ALPU answered everything
+
+
+def test_alpu_overflow_falls_back_to_software_suffix():
+    nic = NicConfig.with_alpu(total_cells=32, block_size=8)
+    result = run_preposted(
+        nic, PrepostedParams(queue_length=48, traverse_fraction=1.0, **FAST)
+    )
+    # 48-entry queue, 32 in the ALPU: ~16 software entries per ping
+    assert result.entries_traversed > 0
+    baseline_equivalent = run_preposted(
+        NicConfig.baseline(),
+        PrepostedParams(queue_length=48, traverse_fraction=1.0, **FAST),
+    )
+    assert result.median_ns < baseline_equivalent.median_ns
+
+
+def test_samples_are_deterministic():
+    params = PrepostedParams(queue_length=8, traverse_fraction=1.0, **FAST)
+    first = run_preposted(NicConfig.baseline(), params)
+    second = run_preposted(NicConfig.baseline(), params)
+    assert first.latencies_ns == second.latencies_ns

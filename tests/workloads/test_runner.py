@@ -1,0 +1,55 @@
+"""Tests for presets and sweep helpers."""
+
+import pytest
+
+from repro.workloads.runner import (
+    PRESETS,
+    nic_preset,
+    rows_by_preset,
+    sweep_preposted,
+    sweep_unexpected,
+)
+
+
+def test_presets_build_the_papers_three_receivers():
+    baseline = nic_preset("baseline")
+    assert not baseline.firmware.use_alpu
+    alpu128 = nic_preset("alpu128")
+    assert alpu128.alpu_posted.total_cells == 128
+    alpu256 = nic_preset("alpu256", block_size=32)
+    assert alpu256.alpu_posted.total_cells == 256
+    assert alpu256.alpu_posted.block_size == 32
+    assert alpu256.alpu_unexpected.total_cells == 256
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError, match="unknown preset"):
+        nic_preset("alpu512")
+
+
+def test_sweep_preposted_produces_the_grid():
+    rows = sweep_preposted(
+        ["baseline"], [1, 4], [0.0, 1.0], iterations=3, warmup=1
+    )
+    assert len(rows) == 4
+    assert {(r.queue_length, r.traverse_fraction) for r in rows} == {
+        (1, 0.0), (1, 1.0), (4, 0.0), (4, 1.0)
+    }
+    assert all(r.latency_ns > 0 for r in rows)
+
+
+def test_sweep_unexpected_produces_the_grid():
+    rows = sweep_unexpected(["baseline", "alpu128"], [0, 2], iterations=3, warmup=1)
+    assert len(rows) == 4
+    assert [r.preset for r in rows] == ["baseline", "baseline", "alpu128", "alpu128"]
+
+
+def test_rows_by_preset_groups_in_order():
+    rows = sweep_unexpected(["baseline", "alpu128"], [0], iterations=3, warmup=1)
+    grouped = rows_by_preset(rows)
+    assert list(grouped) == ["baseline", "alpu128"]
+    assert all(len(v) == 1 for v in grouped.values())
+
+
+def test_presets_tuple_matches_figures():
+    assert PRESETS == ("baseline", "alpu128", "alpu256")

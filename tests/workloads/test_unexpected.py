@@ -1,0 +1,63 @@
+"""Tests for the unexpected-queue benchmark (small, fast configurations)."""
+
+import pytest
+
+from repro.nic.nic import NicConfig
+from repro.workloads.unexpected import UnexpectedParams, run_unexpected
+
+FAST = dict(iterations=5, warmup=2)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        UnexpectedParams(queue_length=-1)
+    with pytest.raises(ValueError):
+        UnexpectedParams(iterations=0)
+
+
+def test_zero_fillers_matches_plain_latency():
+    result = run_unexpected(NicConfig.baseline(), UnexpectedParams(queue_length=0, **FAST))
+    assert 300 < result.median_ns < 1500
+
+
+def test_baseline_latency_grows_with_unexpected_queue():
+    short = run_unexpected(
+        NicConfig.baseline(), UnexpectedParams(queue_length=4, **FAST)
+    )
+    long = run_unexpected(
+        NicConfig.baseline(), UnexpectedParams(queue_length=96, **FAST)
+    )
+    assert long.median_ns > short.median_ns + 400
+    assert long.entries_traversed > short.entries_traversed
+
+
+def test_alpu_flattens_the_unexpected_search():
+    nic = NicConfig.with_alpu(total_cells=128, block_size=16)
+    short = run_unexpected(nic, UnexpectedParams(queue_length=4, **FAST))
+    long = run_unexpected(nic, UnexpectedParams(queue_length=96, **FAST))
+    assert abs(long.median_ns - short.median_ns) < 60
+    assert long.entries_traversed == 0
+
+
+def test_alpu_beats_baseline_on_long_queues():
+    length = 96
+    baseline = run_unexpected(
+        NicConfig.baseline(), UnexpectedParams(queue_length=length, **FAST)
+    )
+    alpu = run_unexpected(
+        NicConfig.with_alpu(128, 16), UnexpectedParams(queue_length=length, **FAST)
+    )
+    assert alpu.median_ns < baseline.median_ns
+
+
+def test_alpu_costs_tens_of_ns_on_short_queues():
+    """'With short unexpected message queues, the ALPU appears to show a
+    small loss in latency performance (a few tens of nanoseconds).'"""
+    baseline = run_unexpected(
+        NicConfig.baseline(), UnexpectedParams(queue_length=2, **FAST)
+    )
+    alpu = run_unexpected(
+        NicConfig.with_alpu(128, 16), UnexpectedParams(queue_length=2, **FAST)
+    )
+    delta = alpu.median_ns - baseline.median_ns
+    assert 0 <= delta < 150

@@ -15,6 +15,13 @@ from repro.analysis.curves import (
     fixed_overhead_ns,
 )
 from repro.analysis.tables import format_rows, format_curve
+from repro.analysis.telemetry import (
+    histogram_stats,
+    load_report,
+    mean_sampled_depth,
+    metric_across_rows,
+    metric_value,
+)
 
 __all__ = [
     "per_entry_slope_ns",
@@ -23,4 +30,9 @@ __all__ = [
     "fixed_overhead_ns",
     "format_rows",
     "format_curve",
+    "histogram_stats",
+    "load_report",
+    "mean_sampled_depth",
+    "metric_across_rows",
+    "metric_value",
 ]

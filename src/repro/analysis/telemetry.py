@@ -1,0 +1,69 @@
+"""Load and query the telemetry reports the sweep runner writes.
+
+:func:`repro.workloads.runner.dump_telemetry` serializes sweep rows plus
+their per-run metrics snapshots; these helpers read that JSON back and
+pull out the quantities the analysis layer cares about -- a named metric
+across the sweep, or the mean of a sampled histogram (queue depth, ALPU
+occupancy) per row.
+
+Snapshot value shapes (see :meth:`repro.obs.MetricsRegistry.snapshot`):
+counters flatten to a number; gauges to ``{"value", "high_water"}``;
+histograms to ``{"count", "sum", "min", "max", "mean", "buckets"}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Read a report written by :func:`repro.workloads.runner.dump_telemetry`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    if not isinstance(report, dict) or "rows" not in report:
+        raise ValueError(f"{path} is not a telemetry report (no 'rows' key)")
+    return report
+
+
+def metric_value(snapshot: Optional[Dict[str, object]], name: str):
+    """One metric from a snapshot; None when absent or telemetry was off.
+
+    Counters and collectors come back as plain numbers, gauges as their
+    current value, histograms as their mean.
+    """
+    if not snapshot:
+        return None
+    entry = snapshot.get(name)
+    if isinstance(entry, dict):
+        if "mean" in entry:
+            return entry["mean"]
+        return entry.get("value")
+    return entry
+
+
+def metric_across_rows(rows: List[Dict[str, object]], name: str) -> List[object]:
+    """The same metric from every row's snapshot, in row order."""
+    return [metric_value(row.get("metrics"), name) for row in rows]
+
+
+def histogram_stats(
+    snapshot: Optional[Dict[str, object]], name: str
+) -> Optional[Dict[str, object]]:
+    """The full histogram entry for ``name``, or None if not a histogram."""
+    if not snapshot:
+        return None
+    entry = snapshot.get(name)
+    if isinstance(entry, dict) and "buckets" in entry:
+        return entry
+    return None
+
+
+def mean_sampled_depth(
+    snapshot: Optional[Dict[str, object]], queue_name: str
+) -> Optional[float]:
+    """Mean sampled depth of a NIC queue, e.g. ``"nic1.postedRecvQ"``."""
+    stats = histogram_stats(snapshot, f"{queue_name}/depth_samples")
+    if stats is None or not stats["count"]:
+        return None
+    return stats["mean"]

@@ -30,6 +30,8 @@ import enum
 from collections import deque
 from typing import Deque, List, Optional
 
+from repro.obs.metrics import NULL_REGISTRY
+
 from repro.core.block import CellBlock
 from repro.core.cell import Cell, CellKind
 from repro.core.commands import (
@@ -123,7 +125,13 @@ class AlpuError(RuntimeError):
 class Alpu:
     """Behavioural model of the associative list processing unit."""
 
-    def __init__(self, config: AlpuConfig = AlpuConfig()) -> None:
+    def __init__(
+        self,
+        config: AlpuConfig = AlpuConfig(),
+        *,
+        metrics=None,
+        name: str = "alpu",
+    ) -> None:
         self.config = config
         self.blocks: List[CellBlock] = [
             CellBlock(config.kind, config.block_size, index=i)
@@ -135,6 +143,20 @@ class Alpu:
         #: header requests not yet resolved (held during insert mode)
         self._pending: Deque[MatchRequest] = deque()
         self.stats = AlpuStats()
+        # registry instruments mirror AlpuStats into the shared telemetry
+        # namespace; with the default null registry every one of these is
+        # a shared no-op, so the uninstrumented path stays free
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_matches = registry.counter(f"{name}/matches_attempted")
+        self._m_successes = registry.counter(f"{name}/match_successes")
+        self._m_failures = registry.counter(f"{name}/match_failures")
+        self._m_inserts = registry.counter(f"{name}/inserts")
+        self._m_insert_stalls = registry.counter(f"{name}/insert_stall_cycles")
+        self._m_compactions = registry.counter(f"{name}/compaction_steps")
+        self._m_resets = registry.counter(f"{name}/resets")
+        self._m_discarded = registry.counter(f"{name}/commands_discarded")
+        self._m_held_retries = registry.counter(f"{name}/held_retries")
+        self._g_occupancy = registry.gauge(f"{name}/occupancy")
 
     # ------------------------------------------------------------- observers
     @property
@@ -209,6 +231,7 @@ class Alpu:
     def _match_and_delete(self, request: MatchRequest):
         """One full match pipeline pass: compare, prioritize, delete."""
         self.stats.matches_attempted += 1
+        self._m_matches.inc()
         # stage 1: fan the request out; each block registers its own copy
         for block in self.blocks:
             block.register_request(request)
@@ -224,10 +247,14 @@ class Alpu:
                 break
         if found_block < 0:
             self.stats.match_failures += 1
+            self._m_failures.inc()
             return False, MatchFailure()
         # stages 5-6: broadcast the delete and shift-compact
         self._delete_at(found_block, local_location)
         self.stats.match_successes += 1
+        self._m_successes.inc()
+        if self._g_occupancy.enabled:
+            self._g_occupancy.set(self.occupancy)
         return True, MatchSuccess(tag=tag)
 
     def _delete_at(self, block_index: int, local_location: int) -> None:
@@ -261,6 +288,7 @@ class Alpu:
         if isinstance(command, Reset):
             return self._reset()
         self.stats.commands_discarded += 1
+        self._m_discarded.inc()
         return []
 
     def _submit_insert_mode(self, command: Command) -> List[Response]:
@@ -270,6 +298,7 @@ class Alpu:
             # against the (possibly now-matching) new contents
             if self._pending:
                 self.stats.held_retries += 1
+                self._m_held_retries.inc()
             return self._drain_pending()
         if isinstance(command, StopInsert):
             self.mode = AlpuMode.MATCH
@@ -283,6 +312,7 @@ class Alpu:
             self.results.append(response)
             return [response]
         self.stats.commands_discarded += 1
+        self._m_discarded.inc()
         return []
 
     def _reset(self) -> List[Response]:
@@ -296,6 +326,8 @@ class Alpu:
                 cell.clear()
         self.mode = AlpuMode.MATCH
         self.stats.resets += 1
+        self._m_resets.inc()
+        self._g_occupancy.set(0)
         return self._drain_pending()
 
     # =============================================================== inserts
@@ -315,11 +347,15 @@ class Alpu:
                 raise AlpuError("compaction cannot free the insert cell")
             stall += 1
         self.stats.insert_stall_cycles += stall
+        self._m_insert_stalls.inc(stall)
         entry = MatchEntry(
             bits=command.match_bits, mask=command.mask_bits, tag=command.tag
         )
         self._cell(0).load(entry)
         self.stats.inserts += 1
+        self._m_inserts.inc()
+        if self._g_occupancy.enabled:
+            self._g_occupancy.set(self.occupancy)
         # the pipeline allows inserts every other cycle because data shifts
         # up one position on the intervening clock; model that free step
         self.compact_step()
@@ -339,6 +375,7 @@ class Alpu:
         Under GLOBAL reach the ALPU behaves as a single block.
         """
         self.stats.compaction_steps += 1
+        self._m_compactions.inc()
         if self.config.compaction_reach is CompactionReach.GLOBAL:
             return self._compact_step_global()
         return self._compact_step_block()

@@ -120,3 +120,39 @@ class MemorySystem:
             self.l2.reset_stats()
         self.dram.reset_stats()
         self.total_stall_ps = 0
+
+    def register_collectors(self, registry, prefix: str) -> None:
+        """Expose the hierarchy's counters as pull-style metrics.
+
+        The caches and DRAM already count hits/misses/row-buffer states on
+        their hot paths; collectors sample those at snapshot time instead
+        of adding a second increment per access.
+        """
+        levels = [("l1", self.l1)]
+        if self.l2 is not None:
+            levels.append(("l2", self.l2))
+        for label, cache in levels:
+            registry.register_collector(
+                f"{prefix}/{label}/hits", lambda c=cache: c.hits
+            )
+            registry.register_collector(
+                f"{prefix}/{label}/misses", lambda c=cache: c.misses
+            )
+            registry.register_collector(
+                f"{prefix}/{label}/writebacks", lambda c=cache: c.writebacks
+            )
+            registry.register_collector(
+                f"{prefix}/{label}/hit_rate", lambda c=cache: c.hit_rate
+            )
+        registry.register_collector(
+            f"{prefix}/dram/page_hits", lambda: self.dram.page_hits
+        )
+        registry.register_collector(
+            f"{prefix}/dram/page_misses", lambda: self.dram.page_misses
+        )
+        registry.register_collector(
+            f"{prefix}/dram/page_conflicts", lambda: self.dram.page_conflicts
+        )
+        registry.register_collector(
+            f"{prefix}/stall_ps", lambda: self.total_stall_ps
+        )

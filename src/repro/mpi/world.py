@@ -21,6 +21,8 @@ from typing import Callable, Dict, List, Optional
 from repro.mpi.api import MpiProcess
 from repro.mpi.communicator import Communicator, world as make_world_comm
 from repro.network.fabric import Fabric, FabricConfig
+from repro.obs.probe import SamplingProbe
+from repro.obs.tracer import NULL_TRACER
 from repro.nic.host_interface import HOST_NIC_LATENCY_PS
 from repro.nic.nic import Nic, NicConfig
 from repro.proc.costmodel import HostCostModel
@@ -99,9 +101,25 @@ class Host:
 class MpiWorld:
     """A complete simulated system plus its MPI job harness."""
 
-    def __init__(self, config: WorldConfig = WorldConfig()) -> None:
+    def __init__(
+        self, config: WorldConfig = WorldConfig(), *, telemetry=None
+    ) -> None:
+        """``telemetry``: an optional :class:`repro.obs.Telemetry` bundle.
+
+        When given, its registry/tracer ride on the engine (so every
+        component self-instruments) and a :class:`SamplingProbe` samples
+        each NIC's posted/unexpected queue depths and ALPU occupancies on
+        ``telemetry.probe_interval_ps``.  A Telemetry object is per-run;
+        do not share one across worlds.
+        """
         self.config = config
-        self.engine = Engine()
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.engine = Engine(
+                tracer=telemetry.tracer, metrics=telemetry.metrics
+            )
+        else:
+            self.engine = Engine()
         num_nodes = config.num_nodes
         self.fabric = Fabric(self.engine, num_nodes, config.fabric)
         self.comm_world: Communicator = make_world_comm(config.num_ranks)
@@ -123,6 +141,47 @@ class MpiWorld:
                 fifo = Fifo(name=f"host{rank}.completions")
                 nic.attach_completion_fifo(lproc, fifo)
             self.hosts.append(Host(self.engine, rank, nic, fifo))
+        self.probe: Optional[SamplingProbe] = None
+        if telemetry is not None and telemetry.probe_interval_ps:
+            self.probe = self._build_probe(telemetry)
+            self.probe.start()
+
+    def _build_probe(self, telemetry) -> SamplingProbe:
+        """Periodic sampling of queue depths and ALPU occupancies."""
+        registry = telemetry.metrics
+        probe = SamplingProbe(
+            self.engine,
+            telemetry.probe_interval_ps,
+            tracer=telemetry.tracer if telemetry.tracer is not None else NULL_TRACER,
+        )
+        for nic in self.nics:
+            for queue in (nic.posted_recv_q, nic.unexpected_q):
+                histogram = (
+                    registry.histogram(f"{queue.name}/depth_samples")
+                    if registry is not None
+                    else None
+                )
+                probe.add(
+                    "nic",
+                    f"{queue.name}.depth",
+                    (lambda q=queue: len(q)),
+                    histogram,
+                )
+            for device in (nic.posted_device, nic.unexpected_device):
+                if device is None:
+                    continue
+                histogram = (
+                    registry.histogram(f"{device.name}/occupancy_samples")
+                    if registry is not None
+                    else None
+                )
+                probe.add(
+                    "alpu",
+                    f"{device.name}.occupancy",
+                    (lambda d=device: d.alpu.occupancy),
+                    histogram,
+                )
+        return probe
 
     # ----------------------------------------------------------------- run
     def run(

@@ -75,6 +75,22 @@ class Fabric(Component):
         ]
         self._seq: Dict[tuple, int] = {}
         self.packets_delivered = 0
+        # telemetry: totals as counters, per-link traffic/utilization as
+        # snapshot-time collectors over the Link objects' own tallies
+        registry = engine.metrics
+        self._m_packets = registry.counter(f"{name}/packets")
+        self._m_bytes = registry.counter(f"{name}/bytes")
+        if registry.enabled:
+            for src in range(num_nodes):
+                for dst in range(num_nodes):
+                    link = self._links[src][dst]
+                    registry.register_collector(
+                        f"{link.name}/bytes", lambda l=link: l.bytes_sent
+                    )
+                    registry.register_collector(
+                        f"{link.name}/utilization",
+                        lambda l=link: l.utilization(),
+                    )
 
     def inject(self, packet: Packet) -> Packet:
         """Send a packet; returns the (sequence-stamped) packet injected."""
@@ -88,6 +104,20 @@ class Fabric(Component):
         stamped = dataclasses.replace(packet, seq=seq)
         self._links[packet.src][packet.dst].send(stamped, stamped.wire_bytes)
         self.packets_delivered += 1
+        self._m_packets.inc()
+        self._m_bytes.inc(stamped.wire_bytes)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "network",
+                f"{self.name}.inject",
+                {
+                    "kind": packet.kind.name,
+                    "src": packet.src,
+                    "dst": packet.dst,
+                    "bytes": stamped.wire_bytes,
+                },
+            )
         return stamped
 
     def rx_fifo(self, node: int) -> Fifo:

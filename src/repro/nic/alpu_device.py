@@ -44,7 +44,7 @@ class AlpuDevice(Component):
         bus_latency_ps: int = NIC_BUS_LATENCY_PS,
     ) -> None:
         super().__init__(engine, name)
-        self.alpu = Alpu(config)
+        self.alpu = Alpu(config, metrics=engine.metrics, name=name)
         self.timing = timing
         self.bus_latency_ps = bus_latency_ps
         self.header_fifo: Fifo[MatchRequest] = Fifo(name=f"{name}.headers")
@@ -100,17 +100,38 @@ class AlpuDevice(Component):
     # ------------------------------------------------------ device pipeline
     def _run(self):
         """The control loop: commands preempt headers between matches."""
+        tracer = self.engine.tracer
         while True:
             if not self.command_fifo.empty:
                 command = self.command_fifo.pop()
+                if tracer.enabled:
+                    tracer.begin(
+                        "alpu",
+                        f"{self.name}.command",
+                        {"command": type(command).__name__},
+                    )
                 yield delay(self._command_occupancy_ps(command))
                 for response in self.alpu.submit(command):
                     self.result_fifo.push(response)
+                if tracer.enabled:
+                    tracer.end("alpu", f"{self.name}.command")
             elif not self.header_fifo.empty:
                 request = self.header_fifo.pop()
+                if tracer.enabled:
+                    tracer.begin("alpu", f"{self.name}.match")
                 yield delay(self.timing.match_ps(self.alpu.config))
-                for response in self.alpu.present_header(request):
+                responses = self.alpu.present_header(request)
+                for response in responses:
                     self.result_fifo.push(response)
+                if tracer.enabled:
+                    tracer.end(
+                        "alpu",
+                        f"{self.name}.match",
+                        {
+                            "resolved": len(responses),
+                            "occupancy": self.alpu.occupancy,
+                        },
+                    )
             else:
                 yield wait_on(self._kick)
 

@@ -102,6 +102,23 @@ class NicFirmware:
         self.headers_unexpected = 0
         self.entries_traversed = 0
         self.loop_iterations = 0
+        # telemetry: the same tallies mirrored into the shared registry
+        # (no-ops by default), a per-search traversal-length histogram,
+        # and the tracer for search spans / queue events
+        registry = nic.engine.metrics
+        self.tracer = nic.engine.tracer
+        prefix = f"{nic.name}.fw"
+        self._m_headers_matched = registry.counter(f"{prefix}/headers_matched")
+        self._m_headers_unexpected = registry.counter(
+            f"{prefix}/headers_unexpected"
+        )
+        self._m_entries_traversed = registry.counter(
+            f"{prefix}/entries_traversed"
+        )
+        self._h_traversal = registry.histogram(f"{prefix}/traversal_length")
+        registry.register_collector(
+            f"{prefix}/loop_iterations", lambda: self.loop_iterations
+        )
         #: (recv host_req_id, sender send uid) in pairing order -- the
         #: observable record tests compare against the matching oracle
         self.pairings: list = []
@@ -162,10 +179,12 @@ class NicFirmware:
             )
         if entry is not None:
             self.headers_matched += 1
+            self._m_headers_matched.inc()
             self.pairings.append((entry.host_req_id, packet.send_id))
             yield from self._deliver_to_receive(packet, entry)
         else:
             self.headers_unexpected += 1
+            self._m_headers_unexpected.inc()
             yield from self._enqueue_unexpected(packet)
 
     def _deliver_to_receive(self, packet: Packet, entry: QueueEntry):
@@ -237,6 +256,12 @@ class NicFirmware:
         cost += self.proc.touch(entry.addr, ENTRY_BYTES, write=True)
         yield delay(cost)
         self.unexpected_q.append(entry)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "nic",
+                f"{self.nic.name}.unexpected_enqueue",
+                {"depth": len(self.unexpected_q), "src": packet.src},
+            )
         if self.unexpected_hash is not None:
             yield from self._charge_op_cost(self.unexpected_hash.insert(entry))
 
@@ -491,9 +516,12 @@ class NicFirmware:
             entry, op_cost = table.match_incoming(request)
         else:
             entry, op_cost = table.match_posted_receive(request)
-        self.entries_traversed += sum(
+        lines_examined = sum(
             1 for _ in op_cost.touches
-        )  # lines examined, the comparable traversal metric
+        )  # the comparable traversal metric
+        self.entries_traversed += lines_examined
+        self._m_entries_traversed.inc(lines_examined)
+        self._h_traversal.record(lines_examined)
         yield from self._charge_op_cost(op_cost)
         if entry is not None:
             queue.remove(entry)
@@ -511,16 +539,23 @@ class NicFirmware:
         suffix_only: bool,
     ):
         """Linear traversal with per-entry compute + cache charges."""
+        tracing = self.tracer.enabled
+        if tracing:
+            self.tracer.begin("nic", f"{self.nic.name}.search.{queue.name}")
         entries = queue.software_suffix() if suffix_only else queue.entries
         cost = 0
         found = None
+        visited = 0
         for entry in entries:
             cost += self.proc.compute(self.cost.entry_compare_cycles)
             cost += self.proc.touch(entry.addr, ENTRY_TOUCH_BYTES)
-            self.entries_traversed += 1
+            visited += 1
             if entry.matches(request):
                 found = entry
                 break
+        self.entries_traversed += visited
+        self._m_entries_traversed.inc(visited)
+        self._h_traversal.record(visited)
         if cost:
             yield delay(cost)
         if found is not None:
@@ -528,5 +563,11 @@ class NicFirmware:
             yield delay(
                 self.proc.compute(self.cost.dequeue_cycles)
                 + self.proc.touch(found.addr + 64, 64, write=True)
+            )
+        if tracing:
+            self.tracer.end(
+                "nic",
+                f"{self.nic.name}.search.{queue.name}",
+                {"visited": visited, "hit": found is not None},
             )
         return found

@@ -116,6 +116,11 @@ class Nic(Component):
         self.posted_recv_q = NicQueue(f"{self.name}.postedRecvQ", self.allocator)
         self.unexpected_q = NicQueue(f"{self.name}.unexpectedQ", self.allocator)
         self.send_q = NicQueue(f"{self.name}.sendQ", self.allocator)
+        if engine.metrics.enabled:
+            for queue in (self.posted_recv_q, self.unexpected_q, self.send_q):
+                queue.attach_depth_gauge(
+                    engine.metrics.gauge(f"{queue.name}/depth")
+                )
 
         # network side
         self.rx_fifo = fabric.rx_fifo(node_id)

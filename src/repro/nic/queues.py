@@ -23,6 +23,7 @@ from typing import Iterator, List, Optional
 
 from repro.core.match import MatchEntry, MatchRequest
 from repro.memory.layout import AddressAllocator
+from repro.obs.metrics import NULL_GAUGE
 
 
 class EntryKind(enum.Enum):
@@ -98,6 +99,13 @@ class NicQueue:
         self.entries: List[QueueEntry] = []
         self.alpu_count = 0
         self.max_length = 0
+        #: telemetry depth gauge (no-op unless the NIC attaches a real one)
+        self._depth_gauge = NULL_GAUGE
+
+    def attach_depth_gauge(self, gauge) -> None:
+        """Mirror this queue's length into a registry gauge on mutation."""
+        self._depth_gauge = gauge
+        gauge.set(len(self.entries))
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -125,6 +133,7 @@ class NicQueue:
         """Link an entry at the tail (the youngest end)."""
         self.entries.append(entry)
         self.max_length = max(self.max_length, len(self.entries))
+        self._depth_gauge.set(len(self.entries))
 
     def remove(self, entry: QueueEntry) -> None:
         """Unlink an entry; adjusts the ALPU-prefix pointer if needed."""
@@ -132,6 +141,7 @@ class NicQueue:
         del self.entries[index]
         if index < self.alpu_count:
             self.alpu_count -= 1
+        self._depth_gauge.set(len(self.entries))
 
     def release(self, entry: QueueEntry) -> None:
         """Return the entry's block to the allocator free list."""

@@ -1,0 +1,57 @@
+"""Unified observability: metrics, structured tracing, Chrome export.
+
+The evaluation of the source paper turns on *why* latency moves -- queue
+traversal lengths, ALPU occupancy, unexpected-queue growth -- not just on
+end-point latency rows.  This subpackage is the cross-layer telemetry
+that makes those quantities visible:
+
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of named
+  counters, gauges and log-scale histograms, plus pull-style collectors;
+* :mod:`repro.obs.tracer` -- typed trace records ``(time_ps, category,
+  name, kind, args)`` with spans, instants and counter samples;
+* :mod:`repro.obs.chrome` -- export to Chrome trace-event JSON, loadable
+  in Perfetto or ``chrome://tracing``;
+* :mod:`repro.obs.probe` -- periodic sampling of state quantities (queue
+  depths, occupancy) into histograms and counter tracks;
+* :mod:`repro.obs.telemetry` -- the per-run bundle workloads accept.
+
+Telemetry is opt-in and zero-perturbation: disabled (the default) it
+costs one no-op call per event site, and enabled it never charges
+simulated time, so latencies are bit-identical either way (pinned by
+``tests/obs/test_zero_perturbation.py``).
+
+This package depends on nothing else in :mod:`repro` (the sim engine
+imports *it*), so any layer may use it without cycles.
+"""
+
+from repro.obs.chrome import chrome_trace_events, to_chrome, write_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.probe import DEFAULT_INTERVAL_PS, SamplingProbe
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracer import NullTracer, NULL_TRACER, Tracer, TraceRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Tracer",
+    "TraceRecord",
+    "NullTracer",
+    "NULL_TRACER",
+    "SamplingProbe",
+    "DEFAULT_INTERVAL_PS",
+    "Telemetry",
+    "chrome_trace_events",
+    "to_chrome",
+    "write_chrome_trace",
+]

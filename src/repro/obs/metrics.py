@@ -1,0 +1,257 @@
+"""The metrics registry: named counters, gauges and log-scale histograms.
+
+Components obtain instruments from a shared :class:`MetricsRegistry`
+handle (``engine.metrics``); the registry owns the namespace and produces
+a JSON-serializable :meth:`~MetricsRegistry.snapshot` at the end of a run.
+Instrument names use ``/`` to separate the owning component from the
+quantity (``nic1.alpu.posted/match_successes``).
+
+Telemetry is **off by default**: every engine starts with the module
+singleton :data:`NULL_REGISTRY`, whose instruments are shared no-op
+objects.  The disabled path must stay cheap enough to leave timing-
+sensitive tier-1 tests untouched -- one attribute lookup plus an empty
+method call per event, which ``tests/obs/test_metrics.py`` pins down by
+inspecting the no-op bytecode.
+
+Besides push-style instruments the registry accepts pull-style
+*collectors*: callables sampled at snapshot time, used to surface
+counters that components already keep (cache hits, DRAM page states,
+link utilization) without touching their hot paths.
+
+This module is dependency-free (it must be importable from every layer,
+including :mod:`repro.core`, without creating cycles).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+    enabled = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value with a high-water mark."""
+
+    __slots__ = ("name", "value", "high_water")
+    enabled = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.high_water: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Record the current value (tracks the maximum ever seen)."""
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+class Histogram:
+    """A log-scale (power-of-two bucket) histogram of non-negative values.
+
+    Bucket ``b`` holds values in ``[2**(b-1), 2**b)`` for ``b >= 1`` and
+    the single value 0 for ``b == 0`` -- i.e. the bucket index of an
+    integer is its bit length.  Log-scale buckets keep queue-depth and
+    traversal-length distributions compact over orders of magnitude.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    enabled = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value: Number) -> None:
+        """Record one sample (must be >= 0)."""
+        if value < 0:
+            raise ValueError(f"{self.name}: histogram values must be >= 0")
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = int(value).bit_length() if value >= 1 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by the disabled registry."""
+
+    __slots__ = ()
+    enabled = False
+    name = ""
+    value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    enabled = False
+    name = ""
+    value = 0
+    high_water = 0
+
+    def set(self, value: Number) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    enabled = False
+    name = ""
+    count = 0
+    total = 0
+    min = None
+    max = None
+    mean = 0.0
+
+    def record(self, value: Number) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Shared namespace of instruments plus snapshot-time collectors."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._collectors: Dict[str, Callable[[], Number]] = {}
+
+    # ---------------------------------------------------------- instruments
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        return self._get(name, Histogram)
+
+    def register_collector(self, name: str, fn: Callable[[], Number]) -> None:
+        """Register a pull-style metric sampled at snapshot time.
+
+        Re-registering a name replaces the previous collector (a fresh
+        world built on a reused registry wins over a dead one).
+        """
+        self._collectors[name] = fn
+
+    # ------------------------------------------------------------- snapshot
+    def snapshot(self) -> Dict[str, object]:
+        """All metrics as a name-sorted, JSON-serializable dict.
+
+        Counters flatten to their value; gauges and histograms become
+        small dicts.  Collector values are sampled now.
+        """
+        out: Dict[str, object] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                out[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[name] = {
+                    "value": instrument.value,
+                    "high_water": instrument.high_water,
+                }
+            else:
+                hist: Histogram = instrument  # type: ignore[assignment]
+                out[name] = {
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "mean": hist.mean,
+                    "buckets": {
+                        str(b): n for b, n in sorted(hist.buckets.items())
+                    },
+                }
+        for name, fn in self._collectors.items():
+            value = fn()
+            if isinstance(value, float) and not math.isfinite(value):
+                value = None
+            out[name] = value
+        return dict(sorted(out.items()))
+
+    def names(self) -> List[str]:
+        """Registered instrument and collector names, sorted."""
+        return sorted(set(self._instruments) | set(self._collectors))
+
+
+class NullRegistry:
+    """The disabled registry: hands out shared no-op instruments.
+
+    Never allocates per call site, never retains state; ``snapshot()`` is
+    always empty.  This is the default on every :class:`Engine`.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return NULL_HISTOGRAM
+
+    def register_collector(self, name: str, fn: Callable[[], Number]) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+    def names(self) -> List[str]:
+        return []
+
+
+NULL_REGISTRY = NullRegistry()

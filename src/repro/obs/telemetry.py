@@ -1,0 +1,68 @@
+"""The per-run telemetry bundle.
+
+One :class:`Telemetry` object packages a fresh metrics registry, a fresh
+tracer and the probe period, ready to hand to a world or a workload:
+
+    telemetry = Telemetry()
+    result = run_pingpong(NicConfig.with_alpu(256, 16), telemetry=telemetry)
+    telemetry.write_chrome_trace("pingpong.trace.json")
+    print(telemetry.snapshot()["nic1.alpu.posted/match_successes"])
+
+A Telemetry object is **per run**: registries accumulate forever and
+collectors bind to the components of one world, so reuse across runs
+mixes numbers.  The sweep helpers in :mod:`repro.workloads.runner`
+create one per point for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.obs.chrome import to_chrome, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import DEFAULT_INTERVAL_PS
+from repro.obs.tracer import Tracer
+
+
+class Telemetry:
+    """Metrics + tracing + probe configuration for one simulation run."""
+
+    def __init__(
+        self,
+        *,
+        metrics: bool = True,
+        tracing: bool = True,
+        probe_interval_ps: Optional[int] = DEFAULT_INTERVAL_PS,
+    ) -> None:
+        self.metrics = MetricsRegistry() if metrics else None
+        self.tracer = Tracer() if tracing else None
+        #: None disables the periodic queue-depth/occupancy probe
+        self.probe_interval_ps = probe_interval_ps
+
+    # ------------------------------------------------------------- outputs
+    def snapshot(self) -> Dict[str, object]:
+        """The metrics snapshot (empty when metrics are disabled)."""
+        return self.metrics.snapshot() if self.metrics is not None else {}
+
+    def chrome_trace(self) -> dict:
+        """The Chrome trace-event document for the collected records."""
+        records = self.tracer.records if self.tracer is not None else ()
+        return to_chrome(records)
+
+    def write_chrome_trace(self, path) -> dict:
+        """Write the Chrome trace JSON to ``path``."""
+        records = self.tracer.records if self.tracer is not None else ()
+        return write_chrome_trace(path, records)
+
+    def report(self, **meta) -> dict:
+        """A JSON-serializable run report: metadata + metrics snapshot."""
+        return {"meta": dict(meta), "metrics": self.snapshot()}
+
+    def write_report(self, path, **meta) -> dict:
+        """Write :meth:`report` to ``path`` as JSON; returns the report."""
+        document = self.report(**meta)
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        return document

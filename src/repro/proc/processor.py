@@ -31,6 +31,14 @@ class Processor(ClockedComponent):
         self.memory = memory
         self.busy_ps = 0
         self.stall_ps = 0
+        registry = engine.metrics
+        if registry.enabled:
+            registry.register_collector(f"{name}/busy_ps", lambda: self.busy_ps)
+            registry.register_collector(
+                f"{name}/stall_ps", lambda: self.stall_ps
+            )
+            if memory is not None:
+                memory.register_collectors(registry, prefix=f"{name}.mem")
 
     # ------------------------------------------------------------- charging
     def compute(self, cycles: int) -> int:

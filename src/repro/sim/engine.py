@@ -11,6 +11,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.event import Event, EventHandle
 
 
@@ -24,17 +26,43 @@ class Engine:
     Parameters
     ----------
     trace:
-        Optional callable invoked as ``trace(time_ps, label)`` for every
-        fired event that carries a label.  Used by tests and debugging.
+        .. deprecated:: use ``tracer`` instead.  Legacy callback invoked
+           as ``trace(time_ps, label)`` for every trace record emitted
+           through the engine's tracer, with ``label`` rendered as
+           ``"category:name"``.  Kept so old call sites run unchanged; it
+           is now an adapter over the structured :class:`Tracer`.
+    tracer:
+        A :class:`repro.obs.tracer.Tracer` collecting structured records
+        from instrumented components.  Defaults to the shared no-op
+        tracer (``engine.tracer.enabled`` is False).
+    metrics:
+        A :class:`repro.obs.metrics.MetricsRegistry` components obtain
+        instruments from.  Defaults to the shared no-op registry.
     """
 
-    def __init__(self, trace: Optional[Callable[[int, str], None]] = None) -> None:
+    def __init__(
+        self,
+        trace: Optional[Callable[[int, str], None]] = None,
+        *,
+        tracer=None,
+        metrics=None,
+    ) -> None:
         self._heap: list[Event] = []
         self._now: int = 0
         self._seq: int = 0
         self._fired: int = 0
-        self._trace = trace
         self._stopped = False
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if trace is not None:
+            # legacy hook: promote to a real tracer if none was supplied
+            # and forward every record as (time_ps, "category:name")
+            if not self.tracer.enabled:
+                self.tracer = Tracer()
+            self.tracer.subscribe(
+                lambda rec: trace(rec.time_ps, f"{rec.category}:{rec.name}")
+            )
+        self.tracer.attach_clock(lambda: self._now)
 
     # ------------------------------------------------------------------ time
     @property
@@ -49,7 +77,19 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of live (non-cancelled) events still in the heap.
+
+        Cancellation is lazy -- tombstones stay queued until popped -- so
+        this walks the heap to report the true backlog (what the
+        queue-depth probes and tests care about).  O(pending); use
+        :attr:`raw_pending` for the O(1) heap size.
+        """
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def raw_pending(self) -> int:
+        """Heap size including cancelled tombstones (the pre-telemetry
+        meaning of ``pending``, kept as an escape hatch)."""
         return len(self._heap)
 
     # ------------------------------------------------------------- scheduling

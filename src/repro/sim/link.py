@@ -49,6 +49,9 @@ class Link(Component):
         self.on_deliver = on_deliver
         self._busy_until = 0
         self.messages_sent = 0
+        self.bytes_sent = 0
+        #: cumulative serialization occupancy (utilization numerator)
+        self.busy_ps = 0
 
     def occupancy_ps(self, size_bytes: int) -> int:
         """Serialization time for a message of ``size_bytes``."""
@@ -68,7 +71,13 @@ class Link(Component):
         deliver_at = start + occupancy + self.latency_ps
         self.engine.schedule_at(deliver_at, lambda: self._deliver(message))
         self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        self.busy_ps += occupancy
         return deliver_at
+
+    def utilization(self) -> float:
+        """Fraction of elapsed sim time spent serializing (0.0 at t=0)."""
+        return self.busy_ps / self.now if self.now else 0.0
 
     def _deliver(self, message: Any) -> None:
         self.dest.push(message)

@@ -20,10 +20,12 @@ from repro.workloads.unexpected import (
     run_unexpected,
 )
 from repro.workloads.runner import (
+    dump_telemetry,
     nic_preset,
     PRESETS,
     sweep_preposted,
     sweep_unexpected,
+    telemetry_report,
 )
 
 __all__ = [
@@ -35,8 +37,10 @@ __all__ = [
     "UnexpectedParams",
     "UnexpectedResult",
     "run_unexpected",
+    "dump_telemetry",
     "nic_preset",
     "PRESETS",
     "sweep_preposted",
     "sweep_unexpected",
+    "telemetry_report",
 ]

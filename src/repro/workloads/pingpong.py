@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.mpi.world import MpiWorld, WorldConfig
 from repro.nic.nic import NicConfig
@@ -31,6 +31,8 @@ class PingPongResult:
     """Half-round-trip latencies, in nanoseconds."""
 
     latencies_ns: List[float]
+    #: metrics snapshot when the run carried a telemetry bundle
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def mean_ns(self) -> float:
@@ -44,9 +46,16 @@ class PingPongResult:
 
 
 def run_pingpong(
-    nic: NicConfig, params: PingPongParams = PingPongParams()
+    nic: NicConfig,
+    params: PingPongParams = PingPongParams(),
+    *,
+    telemetry=None,
 ) -> PingPongResult:
-    """Run a 2-rank ping-pong; returns per-iteration half-RTT."""
+    """Run a 2-rank ping-pong; returns per-iteration half-RTT.
+
+    ``telemetry``: optional :class:`repro.obs.Telemetry`; enables metrics
+    and tracing for the run without perturbing its simulated latencies.
+    """
 
     total = params.warmup + params.iterations
 
@@ -71,6 +80,9 @@ def run_pingpong(
             yield from mpi.send(dest=0, tag=i, size=params.message_size)
         yield from mpi.finalize()
 
-    world = MpiWorld(WorldConfig(num_ranks=2, nic=nic))
+    world = MpiWorld(WorldConfig(num_ranks=2, nic=nic), telemetry=telemetry)
     results = world.run({0: rank0, 1: rank1})
-    return PingPongResult(latencies_ns=results[0])
+    return PingPongResult(
+        latencies_ns=results[0],
+        metrics=telemetry.snapshot() if telemetry is not None else None,
+    )

@@ -33,7 +33,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.mpi.world import MpiWorld, WorldConfig
 from repro.nic.nic import NicConfig
@@ -73,6 +73,8 @@ class PrepostedResult:
     latencies_ns: List[float]
     #: receiver-NIC software entries traversed over the timed iterations
     entries_traversed: int
+    #: metrics snapshot when the run carried a telemetry bundle
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def mean_ns(self) -> float:
@@ -83,8 +85,15 @@ class PrepostedResult:
         return statistics.median(self.latencies_ns)
 
 
-def run_preposted(nic: NicConfig, params: PrepostedParams) -> PrepostedResult:
-    """Run one (queue length, fraction, size) point on a 2-rank system."""
+def run_preposted(
+    nic: NicConfig, params: PrepostedParams, *, telemetry=None
+) -> PrepostedResult:
+    """Run one (queue length, fraction, size) point on a 2-rank system.
+
+    ``telemetry``: optional :class:`repro.obs.Telemetry`; the result's
+    ``metrics`` field then carries the run's snapshot.  Telemetry never
+    perturbs the measured latencies (pinned by regression test).
+    """
 
     total_iters = params.warmup + params.iterations
     depth = params.match_depth
@@ -152,11 +161,12 @@ def run_preposted(nic: NicConfig, params: PrepostedParams) -> PrepostedResult:
         yield from mpi.finalize()
         return None
 
-    world = MpiWorld(WorldConfig(num_ranks=2, nic=nic))
+    world = MpiWorld(WorldConfig(num_ranks=2, nic=nic), telemetry=telemetry)
     results = world.run({0: sender_program, 1: receiver})
     samples, traversed = results[1]
     return PrepostedResult(
         params=params,
         latencies_ns=samples,
         entries_traversed=traversed,
+        metrics=telemetry.snapshot() if telemetry is not None else None,
     )

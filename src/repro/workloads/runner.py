@@ -10,9 +10,11 @@ plotting.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Sequence
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.nic.nic import NicConfig
+from repro.obs.telemetry import Telemetry
 from repro.workloads.preposted import PrepostedParams, PrepostedResult, run_preposted
 from repro.workloads.unexpected import (
     UnexpectedParams,
@@ -44,6 +46,8 @@ class PrepostedRow:
     traverse_fraction: float
     message_size: int
     latency_ns: float
+    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
+    metrics: Optional[Dict[str, object]] = None
 
 
 def sweep_preposted(
@@ -54,13 +58,21 @@ def sweep_preposted(
     message_size: int = 0,
     iterations: int = 12,
     warmup: int = 3,
+    telemetry: bool = False,
 ) -> List[PrepostedRow]:
-    """Run the preposted benchmark over a (preset x length x fraction) grid."""
+    """Run the preposted benchmark over a (preset x length x fraction) grid.
+
+    With ``telemetry=True`` every point runs under a fresh
+    :class:`~repro.obs.Telemetry` bundle (metrics only -- the probe stays
+    on, tracing stays off to bound memory) and its snapshot rides on the
+    row's ``metrics`` field; :func:`dump_telemetry` serializes the lot.
+    """
     rows: List[PrepostedRow] = []
     for preset in presets:
         nic = nic_preset(preset)
         for length in queue_lengths:
             for fraction in fractions:
+                bundle = Telemetry(tracing=False) if telemetry else None
                 result = run_preposted(
                     nic_preset(preset),
                     PrepostedParams(
@@ -70,6 +82,7 @@ def sweep_preposted(
                         iterations=iterations,
                         warmup=warmup,
                     ),
+                    telemetry=bundle,
                 )
                 rows.append(
                     PrepostedRow(
@@ -78,6 +91,7 @@ def sweep_preposted(
                         traverse_fraction=fraction,
                         message_size=message_size,
                         latency_ns=result.median_ns,
+                        metrics=result.metrics,
                     )
                 )
         del nic
@@ -92,6 +106,8 @@ class UnexpectedRow:
     queue_length: int
     message_size: int
     latency_ns: float
+    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
+    metrics: Optional[Dict[str, object]] = None
 
 
 def sweep_unexpected(
@@ -101,11 +117,17 @@ def sweep_unexpected(
     message_size: int = 0,
     iterations: int = 12,
     warmup: int = 3,
+    telemetry: bool = False,
 ) -> List[UnexpectedRow]:
-    """Run the unexpected benchmark over a (preset x length) grid."""
+    """Run the unexpected benchmark over a (preset x length) grid.
+
+    ``telemetry=True`` attaches a per-point metrics snapshot, exactly as
+    in :func:`sweep_preposted`.
+    """
     rows: List[UnexpectedRow] = []
     for preset in presets:
         for length in queue_lengths:
+            bundle = Telemetry(tracing=False) if telemetry else None
             result = run_unexpected(
                 nic_preset(preset),
                 UnexpectedParams(
@@ -114,6 +136,7 @@ def sweep_unexpected(
                     iterations=iterations,
                     warmup=warmup,
                 ),
+                telemetry=bundle,
             )
             rows.append(
                 UnexpectedRow(
@@ -121,6 +144,7 @@ def sweep_unexpected(
                     queue_length=length,
                     message_size=message_size,
                     latency_ns=result.median_ns,
+                    metrics=result.metrics,
                 )
             )
     return rows
@@ -132,3 +156,22 @@ def rows_by_preset(rows: Iterable) -> Dict[str, List]:
     for row in rows:
         grouped.setdefault(row.preset, []).append(row)
     return grouped
+
+
+def telemetry_report(rows: Iterable, **meta: object) -> Dict[str, object]:
+    """Bundle sweep rows (with their metrics snapshots) into one report.
+
+    The shape matches what :mod:`repro.analysis.telemetry` loads back:
+    ``{"meta": {...}, "rows": [{<row fields>, "metrics": {...}}, ...]}``.
+    """
+    return {
+        "meta": dict(meta),
+        "rows": [dataclasses.asdict(row) for row in rows],
+    }
+
+
+def dump_telemetry(rows: Iterable, path: str, **meta: object) -> None:
+    """Write the sweep's telemetry report as JSON (``--telemetry out.json``)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(telemetry_report(rows, **meta), fh, indent=2, sort_keys=True)
+        fh.write("\n")

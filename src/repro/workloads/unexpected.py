@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.mpi.world import MpiWorld, WorldConfig
 from repro.nic.nic import NicConfig
@@ -64,6 +64,8 @@ class UnexpectedResult:
     params: UnexpectedParams
     latencies_ns: List[float]
     entries_traversed: int
+    #: metrics snapshot when the run carried a telemetry bundle
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def mean_ns(self) -> float:
@@ -82,8 +84,15 @@ _READY_TAG = (1 << 15) + 2
 _DONE_TAG = (1 << 15) + 3
 
 
-def run_unexpected(nic: NicConfig, params: UnexpectedParams) -> UnexpectedResult:
-    """Run one (queue length, size) point on a 2-rank system."""
+def run_unexpected(
+    nic: NicConfig, params: UnexpectedParams, *, telemetry=None
+) -> UnexpectedResult:
+    """Run one (queue length, size) point on a 2-rank system.
+
+    ``telemetry``: optional :class:`repro.obs.Telemetry`; the result's
+    ``metrics`` field then carries the run's snapshot.  Telemetry never
+    perturbs the measured latencies (pinned by regression test).
+    """
 
     total_iters = params.warmup + params.iterations
     fillers = params.queue_length
@@ -151,11 +160,12 @@ def run_unexpected(nic: NicConfig, params: UnexpectedParams) -> UnexpectedResult
         yield from mpi.finalize()
         return samples, traversed
 
-    world = MpiWorld(WorldConfig(num_ranks=2, nic=nic))
+    world = MpiWorld(WorldConfig(num_ranks=2, nic=nic), telemetry=telemetry)
     results = world.run({0: sender, 1: receiver})
     samples, traversed = results[1]
     return UnexpectedResult(
         params=params,
         latencies_ns=samples,
         entries_traversed=traversed,
+        metrics=telemetry.snapshot() if telemetry is not None else None,
     )

@@ -1,0 +1,158 @@
+"""Registry semantics and the cost of the disabled path."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    NullRegistry,
+    _NullCounter,
+    _NullGauge,
+    _NullHistogram,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+
+class TestGauge:
+    def test_tracks_high_water(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.high_water == 7
+
+
+class TestHistogram:
+    def test_log_scale_buckets(self):
+        h = Histogram("t")
+        for v in (0, 1, 2, 3, 4, 1000):
+            h.record(v)
+        # bucket index == bit length: 0->0, 1->1, 2..3->2, 4->3, 1000->10
+        assert h.buckets == {0: 1, 1: 1, 2: 2, 3: 1, 10: 1}
+        assert h.count == 6
+        assert h.min == 0 and h.max == 1000
+        assert h.mean == pytest.approx(1010 / 6)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram("t").record(-1)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("t").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_shapes_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("z/count").inc(3)
+        reg.gauge("a/depth").set(4)
+        h = reg.histogram("m/lens")
+        h.record(2)
+        h.record(5)
+        reg.register_collector("k/pull", lambda: 42)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["z/count"] == 3
+        assert snap["a/depth"] == {"value": 4, "high_water": 4}
+        assert snap["m/lens"] == {
+            "count": 2,
+            "sum": 7,
+            "min": 2,
+            "max": 5,
+            "mean": 3.5,
+            "buckets": {"2": 1, "3": 1},
+        }
+        assert snap["k/pull"] == 42
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+    def test_collector_last_registration_wins(self):
+        reg = MetricsRegistry()
+        reg.register_collector("x", lambda: 1)
+        reg.register_collector("x", lambda: 2)
+        assert reg.snapshot()["x"] == 2
+
+    def test_non_finite_collector_values_become_none(self):
+        reg = MetricsRegistry()
+        reg.register_collector("bad", lambda: math.nan)
+        reg.register_collector("worse", lambda: math.inf)
+        snap = reg.snapshot()
+        assert snap["bad"] is None and snap["worse"] is None
+        json.dumps(snap)
+
+    def test_names_lists_instruments_and_collectors(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.register_collector("a", lambda: 0)
+        assert reg.names() == ["a", "b"]
+
+
+class TestDisabledPath:
+    """The default (disabled) registry must cost ~nothing per event."""
+
+    def test_null_registry_hands_out_shared_singletons(self):
+        assert NULL_REGISTRY.counter("anything") is NULL_COUNTER
+        assert NULL_REGISTRY.counter("other") is NULL_COUNTER
+        assert NULL_REGISTRY.gauge("g") is NULL_GAUGE
+        assert NULL_REGISTRY.histogram("h") is NULL_HISTOGRAM
+
+    def test_null_instruments_retain_nothing(self):
+        NULL_COUNTER.inc(10)
+        NULL_GAUGE.set(99)
+        NULL_HISTOGRAM.record(7)
+        NULL_REGISTRY.register_collector("x", lambda: 1)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0 and NULL_GAUGE.high_water == 0
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert NULL_REGISTRY.names() == []
+
+    def test_enabled_flags(self):
+        assert not NULL_REGISTRY.enabled
+        assert not NULL_COUNTER.enabled
+        assert MetricsRegistry().enabled
+        assert Counter("c").enabled
+
+    def test_disabled_event_cost_is_a_trivial_method(self):
+        # The contract: a disabled inc/set/record compiles to an empty
+        # function body (no allocation, no branching, no dict writes) --
+        # i.e. the per-event overhead is one attribute lookup plus a
+        # no-op call.  Pin it by inspecting the bytecode size.
+        for method in (_NullCounter.inc, _NullGauge.set, _NullHistogram.record):
+            assert len(method.__code__.co_code) <= 16
+            assert method.__code__.co_consts == (None,)
+
+    def test_null_registry_is_module_singleton(self):
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        from repro.obs import NULL_REGISTRY as reexported
+
+        assert reexported is NULL_REGISTRY

@@ -1,0 +1,71 @@
+"""Sampling probe: periodic ticks, histograms, zero perturbation."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import SamplingProbe
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Engine
+
+
+def test_probe_samples_on_its_period():
+    engine = Engine()
+    reg = MetricsRegistry()
+    depth = [0]
+    probe = SamplingProbe(engine, 100)
+    probe.add("nic", "q.depth", lambda: depth[0], reg.histogram("q/depth_samples"))
+    probe.start()
+    engine.schedule(150, lambda: depth.__setitem__(0, 5))
+    engine.run(until=350)  # ticks at 100, 200, 300
+    hist = reg.histogram("q/depth_samples")
+    assert probe.ticks == 3
+    assert hist.count == 3
+    assert hist.min == 0 and hist.max == 5
+
+
+def test_probe_emits_counter_trace_records():
+    engine = Engine()
+    tracer = Tracer()
+    tracer.attach_clock(lambda: engine.now)
+    probe = SamplingProbe(engine, 50, tracer=tracer)
+    probe.add("nic", "q.depth", lambda: 2)
+    probe.start()
+    engine.run(until=120)
+    counters = [r for r in tracer.records if r.kind == "counter"]
+    assert [r.time_ps for r in counters] == [50, 100]
+    assert all(r.args == {"value": 2} for r in counters)
+
+
+def test_start_is_idempotent_and_noop_without_samplers():
+    engine = Engine()
+    empty = SamplingProbe(engine, 100)
+    empty.start()
+    assert engine.pending == 0  # nothing scheduled: a bare probe is free
+
+    probe = SamplingProbe(engine, 100)
+    probe.add("nic", "x", lambda: 1)
+    probe.start()
+    probe.start()
+    assert engine.pending == 1
+
+
+def test_invalid_interval_rejected():
+    with pytest.raises(ValueError):
+        SamplingProbe(Engine(), 0)
+
+
+def test_probe_does_not_perturb_other_events():
+    # pure observer: event times with and without a probe are identical
+    def run(with_probe):
+        engine = Engine()
+        times = []
+        for d in (30, 70, 110, 400):
+            engine.schedule(d, lambda: times.append(engine.now))
+        if with_probe:
+            probe = SamplingProbe(engine, 25)
+            probe.add("nic", "x", lambda: 1)
+            probe.start()
+        engine.run(until=500)
+        return times
+
+    assert run(False) == run(True)

@@ -1,0 +1,159 @@
+"""End-to-end telemetry: determinism, zero perturbation, coverage.
+
+These are the acceptance tests of the observability layer:
+
+* two identical runs produce *identical* snapshots and traces
+  (determinism -- the layer records only simulated state);
+* benchmark latencies are bit-identical with telemetry on vs off
+  (zero perturbation -- observers never charge simulated time);
+* the trace covers the ALPU, NIC and network layers, and a Figure-5
+  sweep row's snapshot carries the counters the analysis needs.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.telemetry import (
+    load_report,
+    mean_sampled_depth,
+    metric_across_rows,
+    metric_value,
+)
+from repro.obs import Telemetry
+from repro.workloads.pingpong import PingPongParams, run_pingpong
+from repro.workloads.preposted import PrepostedParams, run_preposted
+from repro.workloads.runner import dump_telemetry, nic_preset, sweep_preposted
+from repro.workloads.unexpected import UnexpectedParams, run_unexpected
+
+FAST = dict(iterations=4, warmup=1)
+
+
+def run_traced_pingpong():
+    telemetry = Telemetry()
+    result = run_pingpong(
+        nic_preset("alpu256"), PingPongParams(**FAST), telemetry=telemetry
+    )
+    return result, telemetry
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_snapshots(self):
+        r1, t1 = run_traced_pingpong()
+        r2, t2 = run_traced_pingpong()
+        assert r1.metrics == r2.metrics
+        assert r1.metrics  # non-trivially so
+
+    def test_identical_runs_identical_traces(self):
+        _, t1 = run_traced_pingpong()
+        _, t2 = run_traced_pingpong()
+        assert t1.tracer.records == t2.tracer.records
+        assert t1.chrome_trace() == t2.chrome_trace()
+
+
+class TestZeroPerturbation:
+    def test_preposted_latencies_identical_with_telemetry(self):
+        params = PrepostedParams(queue_length=24, traverse_fraction=1.0, **FAST)
+        plain = run_preposted(nic_preset("alpu128"), params)
+        traced = run_preposted(
+            nic_preset("alpu128"), params, telemetry=Telemetry()
+        )
+        assert plain.latencies_ns == traced.latencies_ns
+        assert plain.entries_traversed == traced.entries_traversed
+        assert plain.metrics is None and traced.metrics
+
+    def test_unexpected_latencies_identical_with_telemetry(self):
+        params = UnexpectedParams(queue_length=16, **FAST)
+        plain = run_unexpected(nic_preset("baseline"), params)
+        traced = run_unexpected(
+            nic_preset("baseline"), params, telemetry=Telemetry()
+        )
+        assert plain.latencies_ns == traced.latencies_ns
+        assert plain.entries_traversed == traced.entries_traversed
+
+
+class TestTraceCoverage:
+    def test_trace_spans_alpu_nic_and_network(self):
+        _, telemetry = run_traced_pingpong()
+        categories = {r.category for r in telemetry.tracer.records}
+        assert {"alpu", "nic", "network"} <= categories
+
+    def test_metrics_off_bundle_still_runs(self):
+        telemetry = Telemetry(metrics=False, tracing=True)
+        result = run_pingpong(
+            nic_preset("alpu256"), PingPongParams(**FAST), telemetry=telemetry
+        )
+        assert result.metrics == {}
+        assert telemetry.tracer.records
+
+    def test_tracing_off_bundle_still_counts(self):
+        telemetry = Telemetry(tracing=False)
+        result = run_pingpong(
+            nic_preset("alpu256"), PingPongParams(**FAST), telemetry=telemetry
+        )
+        assert result.metrics["nic1.alpu.posted/match_successes"] > 0
+        assert telemetry.chrome_trace()["traceEvents"] == []
+
+
+class TestSweepIntegration:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return sweep_preposted(
+            ["alpu256"], [16], [1.0], iterations=4, warmup=1, telemetry=True
+        )
+
+    def test_figure5_row_reports_alpu_and_queue_metrics(self, rows):
+        snapshot = rows[0].metrics
+        # the issue's acceptance criterion: nonzero ALPU match count and
+        # posted-queue depth samples on a Figure-5 sweep row
+        assert snapshot["nic1.alpu.posted/match_successes"] > 0
+        assert snapshot["nic1.postedRecvQ/depth_samples"]["count"] > 0
+        assert snapshot["fabric/packets"] > 0
+
+    def test_telemetry_off_rows_have_no_metrics(self):
+        rows = sweep_preposted(["baseline"], [4], [1.0], iterations=2, warmup=1)
+        assert rows[0].metrics is None
+
+    def test_report_round_trip_and_analysis_helpers(self, rows, tmp_path):
+        path = tmp_path / "report.json"
+        dump_telemetry(rows, str(path), benchmark="preposted")
+        report = load_report(str(path))
+        assert report["meta"] == {"benchmark": "preposted"}
+        assert len(report["rows"]) == len(rows)
+        (successes,) = metric_across_rows(
+            report["rows"], "nic1.alpu.posted/match_successes"
+        )
+        assert successes > 0
+        depth = mean_sampled_depth(
+            report["rows"][0]["metrics"], "nic1.postedRecvQ"
+        )
+        assert depth > 0
+        # counters flatten, histograms read back via their mean
+        assert metric_value(report["rows"][0]["metrics"], "missing") is None
+
+    def test_load_report_rejects_non_reports(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(ValueError, match="telemetry report"):
+            load_report(str(path))
+
+
+class TestChromeExportEndToEnd:
+    def test_written_trace_is_valid_and_covers_layers(self, tmp_path):
+        _, telemetry = run_traced_pingpong()
+        path = tmp_path / "pp.trace.json"
+        telemetry.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        categories = {e["cat"] for e in events if "cat" in e}
+        assert {"alpu", "nic", "network"} <= categories
+        # every B has its E on the same track
+        depth = {}
+        for ev in events:
+            if ev["ph"] == "B":
+                depth[ev["tid"]] = depth.get(ev["tid"], 0) + 1
+            elif ev["ph"] == "E":
+                depth[ev["tid"]] = depth.get(ev["tid"], 0) - 1
+                assert depth[ev["tid"]] >= 0
+        assert all(d == 0 for d in depth.values())

@@ -142,3 +142,45 @@ def test_events_fired_counter():
         engine.schedule(1, lambda: None)
     engine.run()
     assert engine.events_fired == 5
+
+
+def test_pending_excludes_cancelled_events():
+    engine = Engine()
+    keep = engine.schedule(10, lambda: None)
+    drop = engine.schedule(20, lambda: None)
+    assert engine.pending == 2
+    assert engine.raw_pending == 2
+    drop.cancel()
+    # lazy cancellation: the tombstone stays in the heap, but the live
+    # count must not include it
+    assert engine.pending == 1
+    assert engine.raw_pending == 2
+    keep.cancel()
+    assert engine.pending == 0
+    assert engine.raw_pending == 2
+    engine.run()
+    assert engine.pending == 0
+    assert engine.raw_pending == 0
+
+
+def test_legacy_trace_callback_adapts_to_tracer():
+    seen = []
+    engine = Engine(trace=lambda t, label: seen.append((t, label)))
+    assert engine.tracer.enabled  # the legacy hook promotes a real tracer
+
+    def act():
+        engine.tracer.instant("nic", "poke", {"n": 1})
+
+    engine.schedule(25, act)
+    engine.run()
+    assert seen == [(25, "nic:poke")]
+    # the structured record is also collected
+    (record,) = engine.tracer.records
+    assert (record.time_ps, record.category, record.name) == (25, "nic", "poke")
+
+
+def test_engine_defaults_are_disabled_singletons():
+    a, b = Engine(), Engine()
+    assert not a.tracer.enabled and not a.metrics.enabled
+    assert a.tracer is b.tracer  # shared no-op objects, no per-engine cost
+    assert a.metrics is b.metrics

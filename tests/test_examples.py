@@ -41,6 +41,18 @@ def test_fpga_design_space_runs(capsys):
     assert "34%" in output  # the paper's ~35% V2P100 utilization claim
 
 
+def test_trace_pingpong_runs(capsys, tmp_path):
+    out = tmp_path / "pingpong.trace.json"
+    run_example("trace_pingpong", [str(out)])
+    output = capsys.readouterr().out
+    assert "half-RTT mean" in output
+    assert "trace records" in output
+    import json
+
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+
+
 def test_queue_depth_study_fast_runs(capsys):
     run_example("queue_depth_study", ["--fast"])
     output = capsys.readouterr().out

@@ -15,7 +15,6 @@ simulated system:
    full scans of the unexpected table).
 """
 
-import dataclasses
 
 from repro.analysis.tables import format_rows
 from repro.nic.firmware import FirmwareConfig

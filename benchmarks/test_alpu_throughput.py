@@ -8,7 +8,6 @@ millions of times, and it compares against the reference list to show
 the model's cost is in the same league as the oracle it replaces.
 """
 
-import pytest
 
 from repro.core.alpu import Alpu, AlpuConfig
 from repro.core.commands import Insert, StartInsert, StopInsert

@@ -11,7 +11,6 @@ the paper's observations:
 * the baseline shows the cache-exhaustion knee; the ALPU delays it.
 """
 
-import pytest
 
 from repro.analysis.curves import crossover_length, detect_knee
 from repro.analysis.tables import format_curve
@@ -61,7 +60,7 @@ def test_fig6(benchmark, once):
         f"\nshort-queue ALPU loss: {short_loss_128:+.0f} / "
         f"{short_loss_256:+.0f} ns (paper: a few tens of ns); "
         f"baseline overtakes the 128-entry ALPU at {win_point_128:.0f} "
-        f"entries (paper: clear advantage past ~70); "
+        "entries (paper: clear advantage past ~70); "
         f"baseline cache knee at {baseline_knee} entries"
     )
 

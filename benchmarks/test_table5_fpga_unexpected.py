@@ -8,7 +8,6 @@ their wildcards with the request instead of storing them per cell.
 
 from repro.core.cell import CellKind
 from repro.fpga.report import (
-    TABLE_IV_PUBLISHED,
     TABLE_V_PUBLISHED,
     model_table,
     render_table,

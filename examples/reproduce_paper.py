@@ -87,7 +87,7 @@ def figure6() -> None:
     print(
         f"\n  short-queue ALPU loss {curves['alpu128'][0] - curves['baseline'][0]:+.0f} ns"
         f" (paper: tens of ns) | baseline falls behind past ~{win:.0f} entries"
-        f" (paper: ~70)"
+        " (paper: ~70)"
     )
 
 

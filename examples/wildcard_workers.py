@@ -23,7 +23,6 @@ Run:  python examples/wildcard_workers.py
 from repro.core.match import ANY_SOURCE
 from repro.mpi.world import MpiWorld, WorldConfig
 from repro.nic.nic import NicConfig
-from repro.sim.units import ps_to_ns
 
 NUM_WORKERS = 3
 ITEMS_PER_WORKER = 6

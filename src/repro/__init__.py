@@ -23,8 +23,6 @@ Layers (bottom up):
   experiment reports.
 """
 
-__version__ = "1.0.0"
-
 from repro.core import (
     Alpu,
     AlpuConfig,
@@ -36,6 +34,8 @@ from repro.core import (
     ANY_SOURCE,
     ANY_TAG,
 )
+
+__version__ = "1.0.0"
 
 __all__ = [
     "Alpu",

@@ -7,7 +7,7 @@ piecewise scans, not smoothing, so a test failure points at the data.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 
 def _check(lengths: Sequence[float], latencies_ns: Sequence[float]) -> None:

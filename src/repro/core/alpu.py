@@ -459,7 +459,7 @@ class Alpu:
         limit = 1 << self.config.match_width
         if not 0 <= bits < limit or not 0 <= mask < limit:
             raise AlpuError(
-                f"match/mask bits exceed configured width "
+                "match/mask bits exceed configured width "
                 f"{self.config.match_width}: bits={bits:#x} mask={mask:#x}"
             )
 

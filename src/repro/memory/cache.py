@@ -10,7 +10,7 @@ cycle counts, keeping policy (timing) separate from mechanism (state).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 
 @dataclasses.dataclass(frozen=True)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from repro.memory.cache import AccessResult, Cache, CacheConfig
+from repro.memory.cache import Cache, CacheConfig
 from repro.memory.dram import Dram, DramConfig
 
 

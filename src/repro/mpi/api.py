@@ -60,7 +60,7 @@ class MpiProcess:
         if pending:
             raise MpiError(
                 f"rank {self.rank}: MPI_Finalize with {len(pending)} "
-                f"incomplete requests"
+                "incomplete requests"
             )
         yield delay(self.proc.compute(4 * self.cost.call_overhead_cycles))
         self._finalized = True

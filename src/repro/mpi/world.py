@@ -32,7 +32,6 @@ from repro.sim.engine import Engine
 from repro.sim.fifo import Fifo
 from repro.sim.link import Link
 from repro.sim.process import Process
-from repro.sim.units import us
 
 
 @dataclasses.dataclass(frozen=True)
@@ -167,9 +166,8 @@ class MpiWorld:
                     (lambda q=queue: len(q)),
                     histogram,
                 )
-            for device in (nic.posted_device, nic.unexpected_device):
-                if device is None:
-                    continue
+            # software-only backends assemble no ALPUs; the tuple is empty
+            for device in nic.alpu_devices:
                 histogram = (
                     registry.histogram(f"{device.name}/occupancy_samples")
                     if registry is not None

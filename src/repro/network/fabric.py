@@ -85,11 +85,11 @@ class Fabric(Component):
                 for dst in range(num_nodes):
                     link = self._links[src][dst]
                     registry.register_collector(
-                        f"{link.name}/bytes", lambda l=link: l.bytes_sent
+                        f"{link.name}/bytes", lambda lnk=link: lnk.bytes_sent
                     )
                     registry.register_collector(
                         f"{link.name}/utilization",
-                        lambda l=link: l.utilization(),
+                        lambda lnk=link: lnk.utilization(),
                     )
 
     def inject(self, packet: Packet) -> Packet:

@@ -1,0 +1,161 @@
+"""The matching-backend protocol the NIC firmware dispatches through.
+
+A :class:`MatchBackend` owns *how* the posted-receive and unexpected
+queues are searched and indexed; the firmware
+(:class:`~repro.nic.firmware.NicFirmware`) owns everything else -- the
+progress loop, the eager/rendezvous protocol, DMA and completions.  The
+split follows the queue-management literature's treatment of the
+queue-manipulation engine as a swappable unit behind a fixed interface.
+
+All protocol methods are **simulation generators**: they are driven from
+the firmware's process with ``yield from`` and charge processor cycles,
+cache-modelled memory touches (via the :class:`~repro.nic.hashmatch.OpCost`
+path) and bus time as they go.  A method that costs nothing simply
+returns without yielding.
+
+The four core operations (plus two indexing hooks and a maintenance
+hook):
+
+``match_arrival(request)``
+    An incoming header searches the posted-receive queue.  On a hit the
+    backend unlinks the entry from the queue (charging dequeue costs)
+    and evaluates to it; otherwise evaluates to ``None``.
+``consume_unexpected(request)``
+    A receive being posted searches the unexpected queue, same contract.
+``post_receive(entry)``
+    A receive that matched nothing was appended to the posted queue;
+    index it (hash insert, ALPU mirror bookkeeping, or nothing).
+``note_unexpected(entry)``
+    An arrived header was parked on the unexpected queue; index it.
+``remove(entry, queue)``
+    Explicitly unlink an entry (cancellation and diagnostics).
+``update()``
+    One "update the engine" step of the firmware loop (the ALPU's batch
+    inserts live here).  Evaluates to True when it made progress.
+
+Backends are created through the registry
+(:func:`~repro.nic.backends.registry.register_backend`) and wired to one
+firmware via :meth:`MatchBackend.attach`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.match import MatchRequest
+from repro.nic.queues import ENTRY_TOUCH_BYTES, NicQueue, QueueEntry
+from repro.sim.process import delay
+
+
+class MatchBackend(abc.ABC):
+    """One NIC's pluggable matching engine (see module docstring)."""
+
+    #: registry name; informational (set by subclasses)
+    name: str = "?"
+
+    # ------------------------------------------------------------- wiring
+    def attach(self, firmware) -> None:
+        """Bind this backend to one firmware's queues and cost models."""
+        self.fw = firmware
+        self.nic = firmware.nic
+        self.proc = firmware.proc
+        self.cost = firmware.cost
+        self.fmt = firmware.fmt
+        self.posted_q: NicQueue = firmware.posted_recv_q
+        self.unexpected_q: NicQueue = firmware.unexpected_q
+        self._setup()
+
+    def _setup(self) -> None:
+        """Subclass hook run once the firmware references are in place."""
+
+    # ----------------------------------------------------------- protocol
+    @abc.abstractmethod
+    def match_arrival(self, request: MatchRequest):
+        """Search the posted-receive queue for an incoming header."""
+
+    @abc.abstractmethod
+    def consume_unexpected(self, request: MatchRequest):
+        """Search the unexpected queue for a receive being posted."""
+
+    def post_receive(self, entry: QueueEntry):
+        """Index a receive just appended to the posted queue (no-op)."""
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def note_unexpected(self, entry: QueueEntry):
+        """Index a header just parked on the unexpected queue (no-op)."""
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def remove(self, entry: QueueEntry, queue: NicQueue):
+        """Explicitly unlink an entry from one of the two queues."""
+        queue.remove(entry)
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def update(self):
+        """Per-loop maintenance; evaluates to True on progress (no-op)."""
+        return False
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------ shared helpers
+    def charge(self, op_cost):
+        """Charge an :class:`OpCost`: cycles plus cache-modelled lines."""
+        total = self.proc.compute(op_cost.cycles)
+        for addr, size, write in op_cost.touches:
+            total += self.proc.touch(addr, size, write=write)
+        if total:
+            yield delay(total)
+
+    def retire(self, entry: QueueEntry, queue: NicQueue):
+        """Unlink a matched entry, charging the dequeue + state-line cost.
+
+        The matched entry's request state lives in its second cache line.
+        """
+        queue.remove(entry)
+        yield delay(
+            self.proc.compute(self.cost.dequeue_cycles)
+            + self.proc.touch(entry.addr + 64, 64, write=True)
+        )
+
+    def software_search(
+        self,
+        queue: NicQueue,
+        request: MatchRequest,
+        *,
+        suffix_only: bool = False,
+    ):
+        """Linear traversal with per-entry compute + cache charges.
+
+        The engines every surveyed MPI uses (and the ALPU's MATCH FAILURE
+        fallback, with ``suffix_only=True``).  Evaluates to the matched
+        entry (already unlinked) or ``None``.
+        """
+        tracer = self.fw.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.begin("nic", f"{self.nic.name}.search.{queue.name}")
+        entries = queue.software_suffix() if suffix_only else queue.entries
+        cost = 0
+        found: Optional[QueueEntry] = None
+        visited = 0
+        for entry in entries:
+            cost += self.proc.compute(self.cost.entry_compare_cycles)
+            cost += self.proc.touch(entry.addr, ENTRY_TOUCH_BYTES)
+            visited += 1
+            if entry.matches(request):
+                found = entry
+                break
+        self.fw.record_traversal(visited)
+        if cost:
+            yield delay(cost)
+        if found is not None:
+            yield from self.retire(found, queue)
+        if tracing:
+            tracer.end(
+                "nic",
+                f"{self.nic.name}.search.{queue.name}",
+                {"visited": visited, "hit": found is not None},
+            )
+        return found

@@ -1,0 +1,75 @@
+"""The Section II hash-table matching engine (software-only).
+
+Wraps two :class:`~repro.nic.hashmatch.HashMatchTable` structures (one
+per queue side) behind the :class:`MatchBackend` protocol, charging every
+probe, compare, insert and removal through the firmware's cost model.
+"""
+
+from __future__ import annotations
+
+from repro.core.match import MatchRequest
+from repro.nic.backends.base import MatchBackend
+from repro.nic.hashmatch import HashMatchTable
+from repro.nic.queues import NicQueue, QueueEntry
+
+
+class HashTableBackend(MatchBackend):
+    """Wildcard-class hash tables over both queues (the ``"hash"`` engine)."""
+
+    name = "hash"
+
+    def _setup(self) -> None:
+        self.posted_table = HashMatchTable(self.fmt, bucket_base_addr=0x80_0000)
+        self.unexpected_table = HashMatchTable(
+            self.fmt, bucket_base_addr=0x90_0000
+        )
+
+    def _table_for(self, queue: NicQueue) -> HashMatchTable:
+        return (
+            self.posted_table if queue is self.posted_q else self.unexpected_table
+        )
+
+    # ----------------------------------------------------------- indexing
+    def post_receive(self, entry: QueueEntry):
+        yield from self.charge(self.posted_table.insert(entry))
+
+    def note_unexpected(self, entry: QueueEntry):
+        yield from self.charge(self.unexpected_table.insert(entry))
+
+    def remove(self, entry: QueueEntry, queue: NicQueue):
+        yield from self.charge(self._table_for(queue).remove(entry))
+        queue.remove(entry)
+
+    # ----------------------------------------------------------- matching
+    def match_arrival(self, request: MatchRequest):
+        entry = yield from self._search(
+            self.posted_table, self.posted_q, request, incoming=True
+        )
+        return entry
+
+    def consume_unexpected(self, request: MatchRequest):
+        entry = yield from self._search(
+            self.unexpected_table, self.unexpected_q, request, incoming=False
+        )
+        return entry
+
+    def _search(
+        self,
+        table: HashMatchTable,
+        queue: NicQueue,
+        request: MatchRequest,
+        *,
+        incoming: bool,
+    ):
+        """Search one table, charging its costs; removal is table-internal."""
+        if incoming:
+            entry, op_cost = table.match_incoming(request)
+        else:
+            entry, op_cost = table.match_posted_receive(request)
+        # lines examined is the traversal metric comparable to the list's
+        lines_examined = len(op_cost.touches)
+        self.fw.record_traversal(lines_examined)
+        yield from self.charge(op_cost)
+        if entry is not None:
+            yield from self.retire(entry, queue)
+        return entry

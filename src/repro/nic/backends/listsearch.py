@@ -1,0 +1,26 @@
+"""The baseline linear-list matching engine.
+
+"Typically, MPI implementations search these queues linearly" -- the Red
+Storm-like NIC of the paper's Figure 5(a,b) and Figure 6 baseline.  Both
+queues are searched by traversing the linked lists, with every entry
+visit charging compute cycles and a cache-modelled memory access.
+"""
+
+from __future__ import annotations
+
+from repro.core.match import MatchRequest
+from repro.nic.backends.base import MatchBackend
+
+
+class ListSearchBackend(MatchBackend):
+    """Linear traversal of both queues (the ``"list"`` engine)."""
+
+    name = "list"
+
+    def match_arrival(self, request: MatchRequest):
+        entry = yield from self.software_search(self.posted_q, request)
+        return entry
+
+    def consume_unexpected(self, request: MatchRequest):
+        entry = yield from self.software_search(self.unexpected_q, request)
+        return entry

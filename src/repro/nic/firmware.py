@@ -4,17 +4,15 @@
 the network for new incoming messages; checking for any new requests from
 the main processor; advancing active requests; and updating the ALPU."
 
-The same firmware runs in two modes:
-
-* **baseline** -- the posted-receive and unexpected queues are searched by
-  traversing the linked lists, with every entry visit charging compute
-  cycles and a cache-modelled memory access (this is the Red Storm-like
-  NIC of the paper's Figure 5(a,b) and Figure 6 baseline);
-* **ALPU** -- match-relevant headers are replicated to the posted-receive
-  ALPU, posted receives to the unexpected ALPU, and the firmware consumes
-  results through :class:`~repro.nic.driver.AlpuQueueDriver`, falling back
-  to a software search of only the not-yet-inserted suffix on MATCH
-  FAILURE (Section IV-D).
+The loop is engine-agnostic: *how* the posted-receive and unexpected
+queues are searched lives in a pluggable
+:class:`~repro.nic.backends.MatchBackend` resolved by name from the
+backend registry.  ``FirmwareConfig.matching`` selects it -- ``"list"``
+(linear traversal, the Red Storm-like NIC of the paper's Figure 5(a,b)
+and Figure 6 baseline), ``"hash"`` (the Section II alternative),
+``"alpu"`` (the paper's accelerator; also selected by the legacy
+``use_alpu=True`` flag), or any name registered via
+:func:`repro.nic.backends.register_backend`.
 
 Message protocol: eager for payloads up to ``eager_threshold`` (payload
 travels with the header; unexpected payloads park in NIC memory), and a
@@ -24,17 +22,14 @@ rendezvous RTS/CTS/DATA handshake above it.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.match import MatchFormat, MatchRequest
-from repro.core.commands import MatchSuccess
-from repro.network.fabric import Fabric
 from repro.network.packet import Packet, PacketKind
-from repro.nic.driver import AlpuQueueDriver
+from repro.nic.backends import backend_spec, create_backend
 from repro.nic.host_interface import Completion, PostRecv, PostSend
 from repro.nic.queues import (
     ENTRY_BYTES,
-    ENTRY_TOUCH_BYTES,
     EntryKind,
     NicQueue,
     QueueEntry,
@@ -48,10 +43,13 @@ from repro.sim.units import us
 class FirmwareConfig:
     """Firmware behaviour knobs."""
 
+    #: legacy switch for the ALPU engine; ``True`` resolves the backend
+    #: to ``"alpu"`` regardless of ``matching`` (which must stay at its
+    #: software default) -- kept for config back-compat
     use_alpu: bool = False
-    #: software matching engine: "list" (linear traversal, what every
-    #: surveyed MPI uses) or "hash" (the Section II alternative; only
-    #: meaningful without an ALPU)
+    #: matching engine, by backend-registry name: "list" (linear
+    #: traversal, what every surveyed MPI uses), "hash" (the Section II
+    #: alternative), "alpu", or any custom registered backend
     matching: str = "list"
     #: eager/rendezvous protocol switch (bytes)
     eager_threshold: int = 4096
@@ -59,10 +57,21 @@ class FirmwareConfig:
     match_format: MatchFormat = dataclasses.field(default_factory=MatchFormat)
 
     def __post_init__(self) -> None:
-        if self.matching not in ("list", "hash"):
-            raise ValueError(f"unknown matching engine {self.matching!r}")
-        if self.matching == "hash" and self.use_alpu:
-            raise ValueError("hash matching is a software-only alternative")
+        backend_spec(self.matching)  # raises ValueError when unknown
+        if self.use_alpu and self.matching not in ("list", "alpu"):
+            raise ValueError(
+                f"{self.matching} matching is a software-only alternative"
+            )
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved backend-registry name for this configuration."""
+        return "alpu" if self.use_alpu else self.matching
+
+    @property
+    def backend(self):
+        """The resolved :class:`BackendSpec` (hardware needs included)."""
+        return backend_spec(self.backend_name)
 
 
 class NicFirmware:
@@ -83,20 +92,6 @@ class NicFirmware:
         self.active_recv_q: Dict[int, QueueEntry] = {}
         #: sends awaiting CTS, keyed by send uid
         self.pending_rndv_sends: Dict[int, Tuple[QueueEntry, int]] = {}
-        self.posted_driver: Optional[AlpuQueueDriver] = nic.posted_driver
-        self.unexpected_driver: Optional[AlpuQueueDriver] = nic.unexpected_driver
-        # the Section II hash-table alternative (software-only)
-        self.posted_hash = None
-        self.unexpected_hash = None
-        if self.cfg.matching == "hash":
-            from repro.nic.hashmatch import HashMatchTable
-
-            self.posted_hash = HashMatchTable(
-                self.fmt, bucket_base_addr=0x80_0000
-            )
-            self.unexpected_hash = HashMatchTable(
-                self.fmt, bucket_base_addr=0x90_0000
-            )
         # statistics the benchmarks report
         self.headers_matched = 0
         self.headers_unexpected = 0
@@ -122,6 +117,15 @@ class NicFirmware:
         #: (recv host_req_id, sender send uid) in pairing order -- the
         #: observable record tests compare against the matching oracle
         self.pairings: list = []
+        #: the pluggable matching engine this firmware dispatches to
+        self.backend = create_backend(self.cfg.backend_name)
+        self.backend.attach(self)
+
+    def record_traversal(self, visited: int) -> None:
+        """Backends report per-search traversal work through this hook."""
+        self.entries_traversed += visited
+        self._m_entries_traversed.inc(visited)
+        self._h_traversal.record(visited)
 
     # ------------------------------------------------------------ main loop
     def run(self):
@@ -132,8 +136,7 @@ class NicFirmware:
             progress |= yield from self._check_network()
             progress |= yield from self._check_host()
             progress |= yield from self._advance_active()
-            if self.cfg.use_alpu:
-                progress |= yield from self._update_alpus()
+            progress |= yield from self.backend.update()
             if not progress:
                 yield wait_on(self.nic.kick, timeout_ps=us(10))
 
@@ -156,27 +159,7 @@ class NicFirmware:
     def _handle_match_packet(self, packet: Packet):
         """Run the incoming header against the posted receive queue."""
         request = MatchRequest(bits=packet.match_bits)
-        if self.cfg.use_alpu:
-            was_replicated = self.nic.posted_pushed_flags.popleft()
-            if was_replicated:
-                entry = yield from self._alpu_match(
-                    self.posted_driver, self.posted_recv_q, request
-                )
-            else:
-                # the driver had replication disabled (queue below the
-                # engagement threshold): plain software matching, with
-                # the ALPU guaranteed empty
-                entry = yield from self._software_search(
-                    self.posted_recv_q, request, suffix_only=False
-                )
-        elif self.posted_hash is not None:
-            entry = yield from self._hash_search(
-                self.posted_hash, self.posted_recv_q, request, incoming=True
-            )
-        else:
-            entry = yield from self._software_search(
-                self.posted_recv_q, request, suffix_only=False
-            )
+        entry = yield from self.backend.match_arrival(request)
         if entry is not None:
             self.headers_matched += 1
             self._m_headers_matched.inc()
@@ -262,8 +245,7 @@ class NicFirmware:
                 f"{self.nic.name}.unexpected_enqueue",
                 {"depth": len(self.unexpected_q), "src": packet.src},
             )
-        if self.unexpected_hash is not None:
-            yield from self._charge_op_cost(self.unexpected_hash.insert(entry))
+        yield from self.backend.note_unexpected(entry)
 
     # ===================================================== rendezvous flows
     def _handle_cts(self, packet: Packet):
@@ -317,24 +299,7 @@ class NicFirmware:
             command.tag,
         )
         request = MatchRequest(bits=bits, mask=mask)
-        if self.cfg.use_alpu:
-            was_replicated = self.nic.unexpected_pushed_flags.popleft()
-            if was_replicated:
-                unexpected = yield from self._alpu_match(
-                    self.unexpected_driver, self.unexpected_q, request
-                )
-            else:
-                unexpected = yield from self._software_search(
-                    self.unexpected_q, request, suffix_only=False
-                )
-        elif self.unexpected_hash is not None:
-            unexpected = yield from self._hash_search(
-                self.unexpected_hash, self.unexpected_q, request, incoming=False
-            )
-        else:
-            unexpected = yield from self._software_search(
-                self.unexpected_q, request, suffix_only=False
-            )
+        unexpected = yield from self.backend.consume_unexpected(request)
         if unexpected is not None:
             self.pairings.append((command.req_id, unexpected.peer_send_id))
             yield from self._consume_unexpected(command, unexpected)
@@ -351,8 +316,7 @@ class NicFirmware:
         cost += self.proc.touch(entry.addr, ENTRY_BYTES, write=True)
         yield delay(cost)
         self.posted_recv_q.append(entry)
-        if self.posted_hash is not None:
-            yield from self._charge_op_cost(self.posted_hash.insert(entry))
+        yield from self.backend.post_receive(entry)
 
     def _consume_unexpected(self, command: PostRecv, unexpected: QueueEntry):
         """The posted receive matched an already-arrived message.
@@ -464,110 +428,3 @@ class NicFirmware:
         yield delay(self.proc.compute(self.cost.completion_cycles))
         link = self.nic.completion_link(self.nic.lproc_of(owner_rank))
         link.send(Completion(req_id=req_id))
-
-    # ========================================================= ALPU updates
-    def _update_alpus(self):
-        moved = 0
-        moved += yield from self.posted_driver.update()
-        moved += yield from self.unexpected_driver.update()
-        return moved > 0
-
-    # ===================================================== matching engines
-    def _alpu_match(
-        self,
-        driver: AlpuQueueDriver,
-        queue: NicQueue,
-        request: MatchRequest,
-    ):
-        """Section IV-D result handling: ALPU response, then the software
-        suffix on MATCH FAILURE."""
-        # "the processor should first retrieve the copy of the data
-        # provided to it and then retrieve the response": one bus read for
-        # the replicated header copy, then the result-FIFO read
-        yield delay(driver.device.bus_latency_ps)
-        response = yield from driver.read_result()
-        yield delay(self.proc.compute(self.cost.alpu_result_handle_cycles))
-        if isinstance(response, MatchSuccess):
-            entry = driver.take_matched_entry(response)
-            queue.remove(entry)
-            # the matched entry's request state lives in its second line
-            yield delay(
-                self.proc.compute(self.cost.dequeue_cycles)
-                + self.proc.touch(entry.addr + 64, 64)
-            )
-            return entry
-        entry = yield from self._software_search(queue, request, suffix_only=True)
-        if entry is not None:
-            driver.forget_software_removal(entry)
-        return entry
-
-    def _charge_op_cost(self, op_cost):
-        """Charge a hash-engine OpCost: cycles plus cache-modelled lines."""
-        total = self.proc.compute(op_cost.cycles)
-        for addr, size, write in op_cost.touches:
-            total += self.proc.touch(addr, size, write=write)
-        if total:
-            yield delay(total)
-
-    def _hash_search(self, table, queue: NicQueue, request: MatchRequest, *,
-                     incoming: bool):
-        """Search via the Section II hash alternative, charging its costs."""
-        if incoming:
-            entry, op_cost = table.match_incoming(request)
-        else:
-            entry, op_cost = table.match_posted_receive(request)
-        lines_examined = sum(
-            1 for _ in op_cost.touches
-        )  # the comparable traversal metric
-        self.entries_traversed += lines_examined
-        self._m_entries_traversed.inc(lines_examined)
-        self._h_traversal.record(lines_examined)
-        yield from self._charge_op_cost(op_cost)
-        if entry is not None:
-            queue.remove(entry)
-            yield delay(
-                self.proc.compute(self.cost.dequeue_cycles)
-                + self.proc.touch(entry.addr + 64, 64, write=True)
-            )
-        return entry
-
-    def _software_search(
-        self,
-        queue: NicQueue,
-        request: MatchRequest,
-        *,
-        suffix_only: bool,
-    ):
-        """Linear traversal with per-entry compute + cache charges."""
-        tracing = self.tracer.enabled
-        if tracing:
-            self.tracer.begin("nic", f"{self.nic.name}.search.{queue.name}")
-        entries = queue.software_suffix() if suffix_only else queue.entries
-        cost = 0
-        found = None
-        visited = 0
-        for entry in entries:
-            cost += self.proc.compute(self.cost.entry_compare_cycles)
-            cost += self.proc.touch(entry.addr, ENTRY_TOUCH_BYTES)
-            visited += 1
-            if entry.matches(request):
-                found = entry
-                break
-        self.entries_traversed += visited
-        self._m_entries_traversed.inc(visited)
-        self._h_traversal.record(visited)
-        if cost:
-            yield delay(cost)
-        if found is not None:
-            queue.remove(found)
-            yield delay(
-                self.proc.compute(self.cost.dequeue_cycles)
-                + self.proc.touch(found.addr + 64, 64, write=True)
-            )
-        if tracing:
-            self.tracer.end(
-                "nic",
-                f"{self.nic.name}.search.{queue.name}",
-                {"visited": visited, "hit": found is not None},
-            )
-        return found

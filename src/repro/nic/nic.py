@@ -72,6 +72,19 @@ class NicConfig:
         return NicConfig(firmware=FirmwareConfig(use_alpu=False))
 
     @staticmethod
+    def with_backend(name: str, **firmware_kwargs) -> "NicConfig":
+        """A NIC using any registered matching backend, by name.
+
+        ``name`` must be registered with
+        :func:`repro.nic.backends.register_backend`; backends registered
+        with ``needs_alpu=True`` get default-geometry ALPUs (use
+        :meth:`with_alpu` to size them).
+        """
+        return NicConfig(
+            firmware=FirmwareConfig(matching=name, **firmware_kwargs)
+        )
+
+    @staticmethod
     def with_alpu(total_cells: int = 256, block_size: int = 16) -> "NicConfig":
         """A NIC with posted-receive and unexpected ALPUs of equal size."""
         return NicConfig(
@@ -143,12 +156,14 @@ class Nic(Component):
         )
         self._completion_links = {0: self.host_completion_link}
 
-        # the ALPUs and their drivers
+        # the ALPUs and their drivers, built whenever the resolved
+        # matching backend declares it needs them (needs_alpu=True in the
+        # backend registry; the stock "alpu" backend does)
         self.posted_device: Optional[AlpuDevice] = None
         self.unexpected_device: Optional[AlpuDevice] = None
         self.posted_driver: Optional[AlpuQueueDriver] = None
         self.unexpected_driver: Optional[AlpuQueueDriver] = None
-        if config.firmware.use_alpu:
+        if config.firmware.backend.needs_alpu:
             posted_cfg = config.alpu_posted or AlpuConfig(
                 kind=CellKind.POSTED_RECEIVE
             )
@@ -188,6 +203,15 @@ class Nic(Component):
 
         self.firmware = NicFirmware(self)
         self._proc = Process(engine, self.firmware.run(), name=f"{self.name}.fw")
+
+    @property
+    def alpu_devices(self) -> tuple:
+        """The assembled ALPU devices (empty for software-only backends)."""
+        return tuple(
+            device
+            for device in (self.posted_device, self.unexpected_device)
+            if device is not None
+        )
 
     # -------------------------------------------------------- hardware hooks
     def _on_packet_arrival(self, packet: Packet) -> None:

@@ -19,7 +19,15 @@ hold differentially equal.
 from repro.portals.table import (
     MatchListEntry,
     PortalTable,
+    PortalsMatcher,
     PORTALS_MATCH_WIDTH,
+    PORTALS_MATCHERS,
 )
 
-__all__ = ["MatchListEntry", "PortalTable", "PORTALS_MATCH_WIDTH"]
+__all__ = [
+    "MatchListEntry",
+    "PortalTable",
+    "PortalsMatcher",
+    "PORTALS_MATCH_WIDTH",
+    "PORTALS_MATCHERS",
+]

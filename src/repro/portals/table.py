@@ -11,21 +11,32 @@ list:
   ``persistent`` (stay linked -- e.g. an unexpected-message overflow ME
   or an I/O doorbell).
 
-The ALPU backend maps MEs straight onto cells (ignore bits are the mask
-bits) and handles the one wrinkle the hardware does not do natively:
-persistent entries.  The ALPU always deletes on match, so the backend
-re-inserts a matched persistent entry -- *at the tail*, which would break
-Portals ordering if an equal-priority duplicate existed; it therefore
-re-inserts the whole ALPU-resident suffix after it, preserving list
-order exactly.  (In a real design this is the kind of policy the paper
-leaves to "the processor [which] should maintain a copy of each list".)
+The matchers sit behind the same swappable-engine seam the NIC firmware
+uses (:mod:`repro.nic.backends`): a :class:`PortalsMatcher` protocol --
+the untimed, ME-flavoured sibling of
+:class:`~repro.nic.backends.MatchBackend` -- and a
+:class:`~repro.nic.backends.registry.Registry` instance resolving
+backend names, so new Portals offload designs register alongside the
+two stock ones:
+
+* ``"software"`` -- linear list traversal;
+* ``"alpu"`` -- a 64-bit-wide posted-receive-flavour ALPU mirrors the
+  list (ignore bits are the mask bits); the software copy remains
+  authoritative, as Section IV-B prescribes.  The one wrinkle the
+  hardware does not do natively is persistent entries: the ALPU always
+  deletes on match, and a plain tail re-insert would break Portals
+  ordering if an equal-priority duplicate existed, so the matcher
+  rebuilds the whole mirror in list order after a persistent hit.  (In
+  a real design this is the kind of policy the paper leaves to "the
+  processor [which] should maintain a copy of each list".)
 """
 
 from __future__ import annotations
 
+import abc
 import dataclasses
 import itertools
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.alpu import Alpu, AlpuConfig
 from repro.core.cell import CellKind
@@ -37,6 +48,7 @@ from repro.core.commands import (
     StopInsert,
 )
 from repro.core.match import MatchRequest
+from repro.nic.backends.registry import Registry
 
 #: Portals match/ignore width
 PORTALS_MATCH_WIDTH = 64
@@ -64,80 +76,82 @@ class MatchListEntry:
         return ((self.match_bits ^ bits) & ~self.ignore_bits) == 0
 
 
-class PortalTable:
-    """An ordered Portals match list.
+class PortalsMatcher(abc.ABC):
+    """The pluggable matching engine behind one :class:`PortalTable`.
 
-    Parameters
-    ----------
-    backend:
-        ``"software"`` (linear list) or ``"alpu"`` (a 64-bit-wide
-        posted-receive-flavour ALPU mirrors the list; the software copy
-        remains authoritative, as Section IV-B prescribes).
+    The untimed Portals flavour of the NIC's
+    :class:`~repro.nic.backends.MatchBackend` protocol: ``append`` /
+    ``unlink`` index mutations, ``deliver`` the match path.  The table's
+    ``_entries`` list stays the authoritative copy; matchers mirror it.
     """
 
-    def __init__(self, backend: str = "software", *, alpu_cells: int = 128) -> None:
-        if backend not in ("software", "alpu"):
-            raise ValueError(f"unknown backend {backend!r}")
-        self.backend = backend
-        self._entries: List[MatchListEntry] = []
-        self._alpu: Optional[Alpu] = None
-        self._tags: dict[int, MatchListEntry] = {}
-        if backend == "alpu":
-            self._alpu = Alpu(
-                AlpuConfig(
-                    kind=CellKind.POSTED_RECEIVE,
-                    total_cells=alpu_cells,
-                    block_size=16,
-                    match_width=PORTALS_MATCH_WIDTH,
-                    tag_width=16,
-                )
-            )
+    name: str = "?"
 
-    # ------------------------------------------------------------- list ops
-    def __len__(self) -> int:
-        return len(self._entries)
+    def __init__(self, table: "PortalTable", *, alpu_cells: int = 128) -> None:
+        self.table = table
 
-    def entries(self) -> List[MatchListEntry]:
-        """Copy of the list, first-match-priority order."""
-        return list(self._entries)
-
+    @abc.abstractmethod
     def append(self, entry: MatchListEntry) -> None:
         """Link an ME at the tail of the match list."""
-        if self._alpu is not None and len(self._entries) >= self._alpu.capacity:
+
+    def unlink(self, entry: MatchListEntry) -> None:
+        """Explicitly unlink an ME (PtlMEUnlink)."""
+        self.table._entries.remove(entry)
+
+    @abc.abstractmethod
+    def deliver(self, match_bits: int) -> Optional[MatchListEntry]:
+        """An incoming operation traverses the list; returns the ME hit."""
+
+
+class SoftwarePortalsMatcher(PortalsMatcher):
+    """Linear traversal of the authoritative list."""
+
+    name = "software"
+
+    def append(self, entry: MatchListEntry) -> None:
+        self.table._entries.append(entry)
+
+    def deliver(self, match_bits: int) -> Optional[MatchListEntry]:
+        for entry in self.table._entries:
+            if entry.accepts(match_bits):
+                if entry.use_once:
+                    self.table._entries.remove(entry)
+                return entry
+        return None
+
+
+class AlpuPortalsMatcher(PortalsMatcher):
+    """A full-width ALPU mirror of the match list."""
+
+    name = "alpu"
+
+    def __init__(self, table: "PortalTable", *, alpu_cells: int = 128) -> None:
+        super().__init__(table, alpu_cells=alpu_cells)
+        self._alpu = Alpu(
+            AlpuConfig(
+                kind=CellKind.POSTED_RECEIVE,
+                total_cells=alpu_cells,
+                block_size=16,
+                match_width=PORTALS_MATCH_WIDTH,
+                tag_width=16,
+            )
+        )
+        self._tags: Dict[int, MatchListEntry] = {}
+
+    def append(self, entry: MatchListEntry) -> None:
+        if len(self.table._entries) >= self._alpu.capacity:
             raise RuntimeError(
                 "ALPU-backed portal table is full; a real implementation "
                 "would overflow to a software suffix (see repro.nic.driver)"
             )
-        self._entries.append(entry)
-        if self._alpu is not None:
-            self._hw_insert([entry])
+        self.table._entries.append(entry)
+        self._hw_insert([entry])
 
     def unlink(self, entry: MatchListEntry) -> None:
-        """Explicitly unlink an ME (PtlMEUnlink)."""
-        self._entries.remove(entry)
-        if self._alpu is not None:
-            self._hw_rebuild()
+        super().unlink(entry)
+        self._hw_rebuild()
 
-    # ------------------------------------------------------------- matching
     def deliver(self, match_bits: int) -> Optional[MatchListEntry]:
-        """An incoming operation traverses the list; returns the ME hit.
-
-        ``use_once`` winners are unlinked; persistent winners stay, in
-        place.
-        """
-        if self._alpu is None:
-            return self._deliver_software(match_bits)
-        return self._deliver_alpu(match_bits)
-
-    def _deliver_software(self, match_bits: int) -> Optional[MatchListEntry]:
-        for entry in self._entries:
-            if entry.accepts(match_bits):
-                if entry.use_once:
-                    self._entries.remove(entry)
-                return entry
-        return None
-
-    def _deliver_alpu(self, match_bits: int) -> Optional[MatchListEntry]:
         responses = self._alpu.present_header(MatchRequest(bits=match_bits))
         assert len(responses) == 1
         response = responses[0]
@@ -147,7 +161,7 @@ class PortalTable:
         if matched.use_once:
             # the hardware already deleted the cell; retire the software
             # copy and the tag
-            self._entries.remove(matched)
+            self.table._entries.remove(matched)
             del self._tags[response.tag]
         else:
             # persistent ME: the ALPU's delete-on-match removed it, and a
@@ -176,10 +190,58 @@ class PortalTable:
         """Re-mirror the whole list (unlink / persistent-match repair)."""
         self._alpu.submit(Reset())
         self._tags.clear()
-        self._hw_insert(self._entries)
+        self._hw_insert(self.table._entries)
 
     def _tag_entry(self, tag: int) -> MatchListEntry:
         entry = self._tags.get(tag)
         if entry is None:  # pragma: no cover - mirror desync would be a bug
             raise KeyError(f"ALPU returned unknown tag {tag}")
         return entry
+
+
+#: registry of Portals matcher backends (same machinery as the NIC's)
+PORTALS_MATCHERS: Registry = Registry("portals matcher backend")
+PORTALS_MATCHERS.register("software", SoftwarePortalsMatcher)
+PORTALS_MATCHERS.register("alpu", AlpuPortalsMatcher)
+
+
+class PortalTable:
+    """An ordered Portals match list.
+
+    Parameters
+    ----------
+    backend:
+        Any name registered in :data:`PORTALS_MATCHERS` -- stock values
+        are ``"software"`` (linear list) and ``"alpu"``.
+    """
+
+    def __init__(self, backend: str = "software", *, alpu_cells: int = 128) -> None:
+        matcher_cls = PORTALS_MATCHERS.get(backend)
+        self.backend = backend
+        self._entries: List[MatchListEntry] = []
+        self._matcher: PortalsMatcher = matcher_cls(self, alpu_cells=alpu_cells)
+
+    # ------------------------------------------------------------- list ops
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[MatchListEntry]:
+        """Copy of the list, first-match-priority order."""
+        return list(self._entries)
+
+    def append(self, entry: MatchListEntry) -> None:
+        """Link an ME at the tail of the match list."""
+        self._matcher.append(entry)
+
+    def unlink(self, entry: MatchListEntry) -> None:
+        """Explicitly unlink an ME (PtlMEUnlink)."""
+        self._matcher.unlink(entry)
+
+    # ------------------------------------------------------------- matching
+    def deliver(self, match_bits: int) -> Optional[MatchListEntry]:
+        """An incoming operation traverses the list; returns the ME hit.
+
+        ``use_once`` winners are unlinked; persistent winners stay, in
+        place.
+        """
+        return self._matcher.deliver(match_bits)

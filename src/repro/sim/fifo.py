@@ -10,7 +10,7 @@ ALPU can stall when the command FIFO backs up.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generic, Optional, TypeVar
+from typing import Deque, Generic, Optional, TypeVar
 
 from repro.sim.signal import Signal
 

@@ -8,8 +8,12 @@
 * :mod:`repro.workloads.unexpected` -- the unexpected-message-queue
   benchmark of [10]: queue length and message size, with the time to post
   the measuring receive *included* in the latency.  Regenerates Figure 6.
-* :mod:`repro.workloads.runner` -- configuration presets (baseline NIC,
-  128-entry ALPU, 256-entry ALPU) and sweep helpers.
+* :mod:`repro.workloads.sweep` -- the generic grid-sweep executor:
+  declarative :class:`~repro.workloads.sweep.SweepSpec` grids, optional
+  process fan-out, content-hash result caching, plus the configuration
+  presets (baseline NIC, 128-entry ALPU, 256-entry ALPU).
+* :mod:`repro.workloads.runner` -- the classic ``sweep_preposted`` /
+  ``sweep_unexpected`` helpers, now thin wrappers over the executor.
 """
 
 from repro.workloads.pingpong import PingPongParams, run_pingpong
@@ -19,10 +23,15 @@ from repro.workloads.unexpected import (
     UnexpectedResult,
     run_unexpected,
 )
-from repro.workloads.runner import (
-    dump_telemetry,
+from repro.workloads.sweep import (
     nic_preset,
     PRESETS,
+    run_sweep,
+    SweepCache,
+    SweepSpec,
+)
+from repro.workloads.runner import (
+    dump_telemetry,
     sweep_preposted,
     sweep_unexpected,
     telemetry_report,
@@ -40,6 +49,9 @@ __all__ = [
     "dump_telemetry",
     "nic_preset",
     "PRESETS",
+    "run_sweep",
+    "SweepCache",
+    "SweepSpec",
     "sweep_preposted",
     "sweep_unexpected",
     "telemetry_report",

@@ -1,53 +1,46 @@
-"""Configuration presets and sweep helpers for the Figure 5/6 curves.
+"""Sweep helpers for the Figure 5/6 curves.
 
-The paper compares three receivers: the baseline NIC (embedded processor
-only, Red Storm-like), the same NIC with 128-entry ALPUs, and with
-256-entry ALPUs.  ``nic_preset`` builds them; the ``sweep_*`` helpers run
-a grid of benchmark points and return rows ready for printing or
-plotting.
+Thin wrappers over the generic grid executor in
+:mod:`repro.workloads.sweep`: each ``sweep_*`` helper builds the
+matching :class:`~repro.workloads.sweep.SweepSpec` and hands it to
+:func:`~repro.workloads.sweep.run_sweep`, so both benchmarks share one
+expansion/execution/caching path.  The configuration presets
+(:data:`~repro.workloads.sweep.PRESETS` / ``nic_preset``) and the row
+dataclasses live in :mod:`repro.workloads.sweep` and are re-exported
+here for compatibility.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.nic.nic import NicConfig
-from repro.obs.telemetry import Telemetry
-from repro.workloads.preposted import PrepostedParams, PrepostedResult, run_preposted
-from repro.workloads.unexpected import (
-    UnexpectedParams,
-    UnexpectedResult,
-    run_unexpected,
+from repro.workloads.sweep import (
+    PRESETS,
+    PrepostedRow,
+    SweepCache,
+    SweepSpec,
+    UnexpectedRow,
+    nic_preset,
+    run_sweep,
 )
 
-#: the three receiver configurations of Figures 5 and 6
-PRESETS = ("baseline", "alpu128", "alpu256")
-
-
-def nic_preset(name: str, *, block_size: int = 16) -> NicConfig:
-    """Build one of the paper's three NIC configurations."""
-    if name == "baseline":
-        return NicConfig.baseline()
-    if name == "alpu128":
-        return NicConfig.with_alpu(total_cells=128, block_size=block_size)
-    if name == "alpu256":
-        return NicConfig.with_alpu(total_cells=256, block_size=block_size)
-    raise ValueError(f"unknown preset {name!r}; expected one of {PRESETS}")
-
-
-@dataclasses.dataclass
-class PrepostedRow:
-    """One point of a Figure 5 surface."""
-
-    preset: str
-    queue_length: int
-    traverse_fraction: float
-    message_size: int
-    latency_ns: float
-    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
-    metrics: Optional[Dict[str, object]] = None
+__all__ = [
+    "PRESETS",
+    "PrepostedRow",
+    "SweepCache",
+    "SweepSpec",
+    "UnexpectedRow",
+    "nic_preset",
+    "run_sweep",
+    "sweep_preposted",
+    "sweep_unexpected",
+    "rows_by_preset",
+    "telemetry_report",
+    "dump_telemetry",
+]
 
 
 def sweep_preposted(
@@ -59,6 +52,8 @@ def sweep_preposted(
     iterations: int = 12,
     warmup: int = 3,
     telemetry: bool = False,
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
 ) -> List[PrepostedRow]:
     """Run the preposted benchmark over a (preset x length x fraction) grid.
 
@@ -66,48 +61,21 @@ def sweep_preposted(
     :class:`~repro.obs.Telemetry` bundle (metrics only -- the probe stays
     on, tracing stays off to bound memory) and its snapshot rides on the
     row's ``metrics`` field; :func:`dump_telemetry` serializes the lot.
+
+    ``workers``/``cache`` pass straight through to
+    :func:`~repro.workloads.sweep.run_sweep` (process fan-out, memoized
+    rows); the defaults keep the classic serial, uncached behaviour.
     """
-    rows: List[PrepostedRow] = []
-    for preset in presets:
-        nic = nic_preset(preset)
-        for length in queue_lengths:
-            for fraction in fractions:
-                bundle = Telemetry(tracing=False) if telemetry else None
-                result = run_preposted(
-                    nic_preset(preset),
-                    PrepostedParams(
-                        queue_length=length,
-                        traverse_fraction=fraction,
-                        message_size=message_size,
-                        iterations=iterations,
-                        warmup=warmup,
-                    ),
-                    telemetry=bundle,
-                )
-                rows.append(
-                    PrepostedRow(
-                        preset=preset,
-                        queue_length=length,
-                        traverse_fraction=fraction,
-                        message_size=message_size,
-                        latency_ns=result.median_ns,
-                        metrics=result.metrics,
-                    )
-                )
-        del nic
-    return rows
-
-
-@dataclasses.dataclass
-class UnexpectedRow:
-    """One point of a Figure 6 curve."""
-
-    preset: str
-    queue_length: int
-    message_size: int
-    latency_ns: float
-    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
-    metrics: Optional[Dict[str, object]] = None
+    spec = SweepSpec.preposted(
+        presets,
+        queue_lengths,
+        fractions,
+        message_size=message_size,
+        iterations=iterations,
+        warmup=warmup,
+        telemetry=telemetry,
+    )
+    return run_sweep(spec, workers=workers, cache=cache)
 
 
 def sweep_unexpected(
@@ -118,36 +86,24 @@ def sweep_unexpected(
     iterations: int = 12,
     warmup: int = 3,
     telemetry: bool = False,
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
 ) -> List[UnexpectedRow]:
     """Run the unexpected benchmark over a (preset x length) grid.
 
-    ``telemetry=True`` attaches a per-point metrics snapshot, exactly as
-    in :func:`sweep_preposted`.
+    ``telemetry=True`` attaches a per-point metrics snapshot, and
+    ``workers``/``cache`` fan out / memoize, exactly as in
+    :func:`sweep_preposted`.
     """
-    rows: List[UnexpectedRow] = []
-    for preset in presets:
-        for length in queue_lengths:
-            bundle = Telemetry(tracing=False) if telemetry else None
-            result = run_unexpected(
-                nic_preset(preset),
-                UnexpectedParams(
-                    queue_length=length,
-                    message_size=message_size,
-                    iterations=iterations,
-                    warmup=warmup,
-                ),
-                telemetry=bundle,
-            )
-            rows.append(
-                UnexpectedRow(
-                    preset=preset,
-                    queue_length=length,
-                    message_size=message_size,
-                    latency_ns=result.median_ns,
-                    metrics=result.metrics,
-                )
-            )
-    return rows
+    spec = SweepSpec.unexpected(
+        presets,
+        queue_lengths,
+        message_size=message_size,
+        iterations=iterations,
+        warmup=warmup,
+        telemetry=telemetry,
+    )
+    return run_sweep(spec, workers=workers, cache=cache)
 
 
 def rows_by_preset(rows: Iterable) -> Dict[str, List]:
@@ -171,7 +127,14 @@ def telemetry_report(rows: Iterable, **meta: object) -> Dict[str, object]:
 
 
 def dump_telemetry(rows: Iterable, path: str, **meta: object) -> None:
-    """Write the sweep's telemetry report as JSON (``--telemetry out.json``)."""
+    """Write the sweep's telemetry report as JSON (``--telemetry out.json``).
+
+    Parent directories are created as needed, so nested report paths
+    like ``results/2026-08/fig5.json`` work without preparation.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(telemetry_report(rows, **meta), fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,0 +1,386 @@
+"""Declarative grid sweeps over the Figure 5/6 benchmarks.
+
+One :class:`SweepSpec` names a benchmark, the receiver presets, and the
+parameter axes; :func:`run_sweep` expands the grid (preset-major, then
+axis-major -- the exact nesting order of the old hand-written loops) and
+runs every point, either serially or fanned out across worker processes.
+
+Every point is one self-contained 2-rank simulation, so points are
+embarrassingly parallel *and* deterministic: the same spec produces
+bit-identical rows whether ``workers`` is ``None`` or 8 (pinned by
+test).  A :class:`SweepCache` keyed on a content hash of the point's
+full configuration short-circuits repeats without re-simulating.
+
+The three receiver presets of the paper's comparison live here too
+(:data:`PRESETS` / :func:`nic_preset`): the baseline NIC (embedded
+processor only, Red Storm-like), and the same NIC with 128- or
+256-entry ALPUs.
+
+Run one Figure-5 point through both execution modes as a smoke test::
+
+    PYTHONPATH=src python -m repro.workloads.sweep --smoke
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.nic.nic import NicConfig
+from repro.obs.telemetry import Telemetry
+from repro.workloads.preposted import PrepostedParams, run_preposted
+from repro.workloads.unexpected import UnexpectedParams, run_unexpected
+
+#: the three receiver configurations of Figures 5 and 6
+PRESETS = ("baseline", "alpu128", "alpu256")
+
+
+def nic_preset(name: str, *, block_size: int = 16) -> NicConfig:
+    """Build one of the paper's three NIC configurations."""
+    if name == "baseline":
+        return NicConfig.baseline()
+    if name == "alpu128":
+        return NicConfig.with_alpu(total_cells=128, block_size=block_size)
+    if name == "alpu256":
+        return NicConfig.with_alpu(total_cells=256, block_size=block_size)
+    raise ValueError(f"unknown preset {name!r}; expected one of {PRESETS}")
+
+
+@dataclasses.dataclass
+class PrepostedRow:
+    """One point of a Figure 5 surface."""
+
+    preset: str
+    queue_length: int
+    traverse_fraction: float
+    message_size: int
+    latency_ns: float
+    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
+    metrics: Optional[Dict[str, object]] = None
+
+
+@dataclasses.dataclass
+class UnexpectedRow:
+    """One point of a Figure 6 curve."""
+
+    preset: str
+    queue_length: int
+    message_size: int
+    latency_ns: float
+    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
+    metrics: Optional[Dict[str, object]] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class _Benchmark:
+    """How one benchmark plugs into the generic executor."""
+
+    params_cls: type
+    row_cls: type
+    runner: Callable
+    #: parameter names copied onto the row next to ``preset``/``latency_ns``
+    row_fields: Tuple[str, ...]
+
+
+BENCHMARKS: Dict[str, _Benchmark] = {
+    "preposted": _Benchmark(
+        params_cls=PrepostedParams,
+        row_cls=PrepostedRow,
+        runner=run_preposted,
+        row_fields=("queue_length", "traverse_fraction", "message_size"),
+    ),
+    "unexpected": _Benchmark(
+        params_cls=UnexpectedParams,
+        row_cls=UnexpectedRow,
+        runner=run_unexpected,
+        row_fields=("queue_length", "message_size"),
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """A declarative benchmark grid.
+
+    ``axes`` are ``(name, values)`` pairs swept with :func:`itertools.product`
+    (first axis outermost), inside a preset-major outer loop; ``fixed``
+    are ``(name, value)`` pairs held constant.  Together they must form a
+    valid parameter set for the benchmark's params class.
+    """
+
+    benchmark: str
+    presets: Tuple[str, ...]
+    axes: Tuple[Tuple[str, Tuple], ...]
+    fixed: Tuple[Tuple[str, object], ...] = ()
+    telemetry: bool = False
+    block_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in BENCHMARKS:
+            raise ValueError(
+                f"unknown benchmark {self.benchmark!r}; "
+                f"expected one of {sorted(BENCHMARKS)}"
+            )
+
+    # ---------------------------------------------------------- convenience
+    @staticmethod
+    def preposted(
+        presets: Sequence[str],
+        queue_lengths: Iterable[int],
+        fractions: Iterable[float],
+        *,
+        message_size: int = 0,
+        iterations: int = 12,
+        warmup: int = 3,
+        telemetry: bool = False,
+    ) -> "SweepSpec":
+        """The Figure 5 grid: preset x queue length x traverse fraction."""
+        return SweepSpec(
+            benchmark="preposted",
+            presets=tuple(presets),
+            axes=(
+                ("queue_length", tuple(queue_lengths)),
+                ("traverse_fraction", tuple(fractions)),
+            ),
+            fixed=(
+                ("message_size", message_size),
+                ("iterations", iterations),
+                ("warmup", warmup),
+            ),
+            telemetry=telemetry,
+        )
+
+    @staticmethod
+    def unexpected(
+        presets: Sequence[str],
+        queue_lengths: Iterable[int],
+        *,
+        message_size: int = 0,
+        iterations: int = 12,
+        warmup: int = 3,
+        telemetry: bool = False,
+    ) -> "SweepSpec":
+        """The Figure 6 grid: preset x queue length."""
+        return SweepSpec(
+            benchmark="unexpected",
+            presets=tuple(presets),
+            axes=(("queue_length", tuple(queue_lengths)),),
+            fixed=(
+                ("message_size", message_size),
+                ("iterations", iterations),
+                ("warmup", warmup),
+            ),
+            telemetry=telemetry,
+        )
+
+    # --------------------------------------------------------------- points
+    def points(self) -> List[Tuple[str, Dict[str, object]]]:
+        """Expand the grid into ``(preset, params kwargs)`` pairs.
+
+        Deterministic legacy order: presets outermost, then the axes in
+        declaration order via :func:`itertools.product`.
+        """
+        names = [name for name, _ in self.axes]
+        value_lists = [values for _, values in self.axes]
+        points = []
+        for preset in self.presets:
+            for combo in itertools.product(*value_lists):
+                kwargs = dict(self.fixed)
+                kwargs.update(zip(names, combo))
+                points.append((preset, kwargs))
+        return points
+
+
+#: bump when row semantics change, so stale cache files never resurface
+CACHE_VERSION = 1
+
+
+class SweepCache:
+    """Content-addressed memo of sweep rows.
+
+    Keys are sha256 hashes over the complete configuration of one point
+    (cache version, benchmark, preset, block size, telemetry flag, and
+    every parameter) so any change re-runs the simulation.  Backing
+    store is in-memory, optionally mirrored to a JSON file: pass
+    ``path`` to load it at construction and have :func:`run_sweep`
+    persist after each sweep.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._rows: Dict[str, Dict[str, object]] = {}
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            self._rows = payload.get("rows", {})
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @staticmethod
+    def key(spec: SweepSpec, preset: str, params: Dict[str, object]) -> str:
+        """The content hash of one grid point."""
+        payload = {
+            "version": CACHE_VERSION,
+            "benchmark": spec.benchmark,
+            "preset": preset,
+            "block_size": spec.block_size,
+            "telemetry": spec.telemetry,
+            "params": {name: params[name] for name in sorted(params)},
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def get(self, key: str, row_cls: type):
+        """The cached row for ``key``, rebuilt, or None."""
+        stored = self._rows.get(key)
+        if stored is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row_cls(**stored)
+
+    def put(self, key: str, row) -> None:
+        self._rows[key] = dataclasses.asdict(row)
+
+    def save(self) -> None:
+        """Mirror the store to ``path`` (no-op when in-memory only)."""
+        if self.path is None:
+            return
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"version": CACHE_VERSION, "rows": self._rows},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+
+
+def run_point(
+    spec: SweepSpec,
+    preset: str,
+    params: Dict[str, object],
+    *,
+    nic: Optional[NicConfig] = None,
+):
+    """Run one grid point and shape the result into its row."""
+    bench = BENCHMARKS[spec.benchmark]
+    if nic is None:
+        nic = nic_preset(preset, block_size=spec.block_size)
+    bundle = Telemetry(tracing=False) if spec.telemetry else None
+    result = bench.runner(
+        nic, bench.params_cls(**params), telemetry=bundle
+    )
+    fields = {name: params[name] for name in bench.row_fields}
+    return bench.row_cls(
+        preset=preset,
+        latency_ns=result.median_ns,
+        metrics=result.metrics,
+        **fields,
+    )
+
+
+def _pool_entry(job: Tuple[SweepSpec, str, Dict[str, object]]):
+    """Module-level worker so both fork and spawn start methods pickle it."""
+    spec, preset, params = job
+    return run_point(spec, preset, params)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform has it (cheap, no re-import); spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+) -> List:
+    """Run every point of the grid; rows come back in grid order.
+
+    ``workers``: None/0/1 runs in-process (building each preset's NIC
+    configuration once and reusing it across that preset's points);
+    ``workers >= 2`` fans the points out over a process pool.  Either
+    way the rows are identical -- each point is an isolated simulation.
+
+    ``cache``: an optional :class:`SweepCache`; cached points are
+    never re-simulated, fresh rows are stored back, and a file-backed
+    cache is saved before returning.
+    """
+    points = spec.points()
+    bench = BENCHMARKS[spec.benchmark]
+    rows: List = [None] * len(points)
+
+    pending: List[Tuple[int, str, Dict[str, object]]] = []
+    for index, (preset, params) in enumerate(points):
+        if cache is not None:
+            row = cache.get(SweepCache.key(spec, preset, params), bench.row_cls)
+            if row is not None:
+                rows[index] = row
+                continue
+        pending.append((index, preset, params))
+
+    if pending and workers is not None and workers >= 2:
+        jobs = [(spec, preset, params) for _, preset, params in pending]
+        with _pool_context().Pool(processes=workers) as pool:
+            fresh = pool.map(_pool_entry, jobs)
+        for (index, _, _), row in zip(pending, fresh):
+            rows[index] = row
+    elif pending:
+        # serial path: one NicConfig per preset, shared across its points
+        nics: Dict[str, NicConfig] = {}
+        for index, preset, params in pending:
+            if preset not in nics:
+                nics[preset] = nic_preset(preset, block_size=spec.block_size)
+            rows[index] = run_point(spec, preset, params, nic=nics[preset])
+
+    if cache is not None:
+        for index, preset, params in pending:
+            cache.put(SweepCache.key(spec, preset, params), rows[index])
+        cache.save()
+    return rows
+
+
+def _smoke() -> None:
+    """One Figure-5 point through serial, parallel, and cached execution."""
+    spec = SweepSpec.preposted(
+        ("alpu128",), (8,), (1.0,), iterations=4, warmup=1
+    )
+    serial = run_sweep(spec)
+    parallel = run_sweep(spec, workers=2)
+    assert serial == parallel, (serial, parallel)
+    cache = SweepCache()
+    first = run_sweep(spec, cache=cache)
+    again = run_sweep(spec, cache=cache)
+    assert first == serial and again == serial, (first, again)
+    assert cache.hits == 1 and cache.misses == 1, (cache.hits, cache.misses)
+    row = serial[0]
+    print(
+        f"sweep smoke OK: preposted {row.preset} q={row.queue_length} "
+        f"f={row.traverse_fraction} -> {row.latency_ns:.1f} ns "
+        "(serial == parallel == cached)"
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--smoke" in sys.argv[1:]:
+        _smoke()
+    else:
+        print(__doc__)

@@ -9,7 +9,6 @@ from repro.core.alpu import (
     AlpuMode,
     CompactionReach,
 )
-from repro.core.cell import CellKind
 from repro.core.commands import (
     Insert,
     MatchFailure,

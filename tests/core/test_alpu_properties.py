@@ -8,7 +8,7 @@ same traffic and compares every response and the full survivor order.
 """
 
 import dataclasses
-from typing import List, Optional, Union
+from typing import List
 
 from hypothesis import given, settings, strategies as st
 

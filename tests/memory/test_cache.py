@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.memory.cache import AccessResult, Cache, CacheConfig
+from repro.memory.cache import Cache, CacheConfig
 
 
 def small_cache(ways=2, sets=4, line=64):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.memory.cache import CacheConfig
-from repro.memory.system import MemorySystem, MemorySystemConfig
+from repro.memory.system import MemorySystemConfig
 from repro.proc.params import make_host_memory, make_nic_memory
 from repro.sim.units import cycles_to_ps
 

@@ -56,8 +56,8 @@ def test_sequence_numbers_are_per_pair():
 def test_different_sources_can_overlap():
     engine = Engine()
     fabric = Fabric(engine, 3)
-    t1 = fabric.inject(packet(src=0, dst=2, payload=4096))
-    t2 = fabric.inject(packet(src=1, dst=2, payload=4096))
+    fabric.inject(packet(src=0, dst=2, payload=4096))
+    fabric.inject(packet(src=1, dst=2, payload=4096))
     engine.run()
     # both large packets arrive at the same time: no shared bottleneck
     assert len(fabric.rx_fifo(2)) == 2

@@ -8,7 +8,6 @@ payload parking, DMA serialization, and the statistics counters.
 import pytest
 
 from repro.mpi.world import MpiWorld, WorldConfig
-from repro.nic.firmware import FirmwareConfig
 from repro.nic.nic import NicConfig
 
 PRESETS = [

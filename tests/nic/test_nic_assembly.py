@@ -1,8 +1,6 @@
 """Tests for NIC assembly and its hardware hooks."""
 
-import pytest
 
-from repro.core.alpu import AlpuConfig
 from repro.core.cell import CellKind
 from repro.network.fabric import Fabric
 from repro.network.packet import Packet, PacketKind

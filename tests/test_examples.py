@@ -8,7 +8,6 @@ benchmark suite's job).
 import runpy
 import sys
 
-import pytest
 
 
 def run_example(name, argv=()):

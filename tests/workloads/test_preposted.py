@@ -4,7 +4,6 @@ import pytest
 
 from repro.nic.nic import NicConfig
 from repro.workloads.preposted import PrepostedParams, run_preposted
-from repro.workloads.runner import nic_preset
 
 FAST = dict(iterations=5, warmup=2)
 

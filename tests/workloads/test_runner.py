@@ -1,9 +1,12 @@
 """Tests for presets and sweep helpers."""
 
+import json
+
 import pytest
 
 from repro.workloads.runner import (
     PRESETS,
+    dump_telemetry,
     nic_preset,
     rows_by_preset,
     sweep_preposted,
@@ -53,3 +56,12 @@ def test_rows_by_preset_groups_in_order():
 
 def test_presets_tuple_matches_figures():
     assert PRESETS == ("baseline", "alpu128", "alpu256")
+
+
+def test_dump_telemetry_creates_parent_directories(tmp_path):
+    rows = sweep_unexpected(["baseline"], [0], iterations=3, warmup=1)
+    path = tmp_path / "results" / "2026-08" / "fig6.json"
+    dump_telemetry(rows, str(path), benchmark="unexpected")
+    report = json.loads(path.read_text())
+    assert report["meta"] == {"benchmark": "unexpected"}
+    assert len(report["rows"]) == 1

@@ -1,0 +1,105 @@
+"""Tests for the generic grid-sweep executor (SweepSpec / run_sweep)."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.sweep import (
+    PrepostedRow,
+    SweepCache,
+    SweepSpec,
+    UnexpectedRow,
+    run_sweep,
+)
+
+
+def _small_preposted_spec(**overrides):
+    kwargs = dict(iterations=3, warmup=1)
+    kwargs.update(overrides)
+    return SweepSpec.preposted(
+        ("baseline", "alpu128"), (1, 4), (0.0, 1.0), **kwargs
+    )
+
+
+def test_points_expand_in_legacy_order():
+    spec = _small_preposted_spec()
+    points = spec.points()
+    assert [(preset, p["queue_length"], p["traverse_fraction"]) for preset, p in points] == [
+        ("baseline", 1, 0.0),
+        ("baseline", 1, 1.0),
+        ("baseline", 4, 0.0),
+        ("baseline", 4, 1.0),
+        ("alpu128", 1, 0.0),
+        ("alpu128", 1, 1.0),
+        ("alpu128", 4, 0.0),
+        ("alpu128", 4, 1.0),
+    ]
+    # fixed parameters ride on every point
+    assert all(p["iterations"] == 3 and p["warmup"] == 1 for _, p in points)
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        SweepSpec(benchmark="allreduce", presets=("baseline",), axes=())
+
+
+def test_parallel_rows_bit_identical_to_serial():
+    spec = _small_preposted_spec()
+    serial = run_sweep(spec)
+    fanned = run_sweep(spec, workers=2)
+    assert serial == fanned
+    assert all(isinstance(row, PrepostedRow) for row in fanned)
+
+
+def test_parallel_unexpected_matches_serial():
+    spec = SweepSpec.unexpected(
+        ("baseline", "alpu128"), (0, 2), iterations=3, warmup=1
+    )
+    serial = run_sweep(spec)
+    fanned = run_sweep(spec, workers=2)
+    assert serial == fanned
+    assert all(isinstance(row, UnexpectedRow) for row in fanned)
+
+
+def test_cache_skips_rerun_and_returns_identical_rows():
+    spec = _small_preposted_spec()
+    cache = SweepCache()
+    first = run_sweep(spec, cache=cache)
+    assert cache.misses == len(first) and cache.hits == 0
+    again = run_sweep(spec, cache=cache)
+    assert again == first
+    # every point was served from the cache the second time
+    assert cache.hits == len(first)
+    assert cache.misses == len(first)
+
+
+def test_cache_key_distinguishes_configurations():
+    spec = _small_preposted_spec()
+    preset, params = spec.points()[0]
+    base = SweepCache.key(spec, preset, params)
+    assert SweepCache.key(spec, "alpu256", params) != base
+    assert SweepCache.key(spec, preset, {**params, "iterations": 4}) != base
+    other = dataclasses.replace(spec, telemetry=True)
+    assert SweepCache.key(other, preset, params) != base
+    # same content hashes the same, regardless of object identity
+    assert SweepCache.key(_small_preposted_spec(), preset, dict(params)) == base
+
+
+def test_file_backed_cache_round_trips(tmp_path):
+    path = tmp_path / "cache" / "sweep.json"
+    spec = SweepSpec.preposted(("baseline",), (2,), (1.0,), iterations=3, warmup=1)
+    first = run_sweep(spec, cache=SweepCache(str(path)))
+    assert path.exists()
+    reloaded = SweepCache(str(path))
+    assert len(reloaded) == 1
+    again = run_sweep(spec, cache=reloaded)
+    assert again == first
+    assert reloaded.hits == 1 and reloaded.misses == 0
+
+
+def test_cache_and_workers_compose():
+    spec = _small_preposted_spec()
+    cache = SweepCache()
+    first = run_sweep(spec, workers=2, cache=cache)
+    again = run_sweep(spec, workers=2, cache=cache)
+    assert again == first and cache.hits == len(first)

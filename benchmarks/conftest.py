@@ -9,7 +9,10 @@ pytest-benchmark records is the cost of the simulation itself.
 
 Run with::
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ -m "" --benchmark-only
+
+(the full-grid modules are marked ``slow``; ``-m ""`` lifts the default
+``-m 'not slow'`` filter)
 """
 
 from __future__ import annotations

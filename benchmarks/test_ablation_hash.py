@@ -15,12 +15,18 @@ simulated system:
    full scans of the unexpected table).
 """
 
+import pytest
+
+
 
 from repro.analysis.tables import format_rows
 from repro.nic.firmware import FirmwareConfig
 from repro.nic.nic import NicConfig
 from repro.workloads.pingpong import PingPongParams, run_pingpong
 from repro.workloads.preposted import PrepostedParams, run_preposted
+
+#: full hash-ablation grid -- excluded from the tier-1 run
+pytestmark = pytest.mark.slow
 
 LIST_NIC = NicConfig.baseline()
 HASH_NIC = NicConfig(firmware=FirmwareConfig(matching="hash"))

@@ -11,12 +11,18 @@ suggested 5, short queues run at baseline speed (the threshold keeps the
 ALPU idle) while long queues still get the flat ALPU curve.
 """
 
+import pytest
+
+
 import dataclasses
 
 from repro.analysis.tables import format_rows
 from repro.nic.driver import DriverConfig
 from repro.nic.nic import NicConfig
 from repro.workloads.preposted import PrepostedParams, run_preposted
+
+#: full threshold-ablation grid -- excluded from the tier-1 run
+pytestmark = pytest.mark.slow
 
 LENGTHS = [1, 2, 4, 8, 16, 64, 128]
 ITERS = dict(iterations=6, warmup=2)

@@ -12,9 +12,15 @@ verifying that:
   the paper studies small messages.
 """
 
+import pytest
+
+
 from repro.analysis.tables import format_rows
 from repro.workloads.preposted import PrepostedParams, run_preposted
 from repro.workloads.runner import nic_preset
+
+#: full message-size grid -- excluded from the tier-1 run
+pytestmark = pytest.mark.slow
 
 SIZES = [0, 256, 1024, 4096, 16384]  # the last one goes rendezvous
 QUEUE_LENGTH = 64

@@ -15,6 +15,7 @@ the paper reports:
 
 import pytest
 
+
 from repro.analysis.curves import (
     crossover_length,
     detect_knee,
@@ -23,6 +24,9 @@ from repro.analysis.curves import (
 from repro.analysis.tables import format_curve
 from repro.workloads.preposted import PrepostedParams, run_preposted
 from repro.workloads.runner import nic_preset
+
+#: full Figure-5 (queue length x fraction) grid -- excluded from the tier-1 run
+pytestmark = pytest.mark.slow
 
 LENGTHS = [1, 2, 5, 8, 16, 32, 64, 128, 160, 200, 256, 320, 400, 500]
 FRACTIONS = [0.25, 0.5, 0.75, 1.0]

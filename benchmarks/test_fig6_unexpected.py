@@ -11,11 +11,17 @@ the paper's observations:
 * the baseline shows the cache-exhaustion knee; the ALPU delays it.
 """
 
+import pytest
+
+
 
 from repro.analysis.curves import crossover_length, detect_knee
 from repro.analysis.tables import format_curve
 from repro.workloads.runner import nic_preset
 from repro.workloads.unexpected import UnexpectedParams, run_unexpected
+
+#: full Figure-6 unexpected-queue grid -- excluded from the tier-1 run
+pytestmark = pytest.mark.slow
 
 LENGTHS = [0, 5, 10, 20, 40, 70, 100, 150, 200, 256, 300]
 ITERS = dict(iterations=6, warmup=2)

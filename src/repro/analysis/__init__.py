@@ -6,6 +6,13 @@ sits, the ALPU's fixed overhead, and the queue length at which the ALPU
 breaks even.  These helpers compute the same quantities from sweep rows
 so EXPERIMENTS.md and the benchmark harness can report paper-vs-measured
 side by side.
+
+:mod:`repro.analysis.attribution` goes one level deeper: it folds the
+flight-recorder lifecycles (:mod:`repro.obs.lifecycle`) into per-message
+stage-residency budgets that sum exactly to each message's end-to-end
+latency, aggregates percentile breakdowns, and finds the dominant stage
+and software/ALPU search crossover.  It is also a CLI
+(``python -m repro.analysis.attribution``).
 """
 
 from repro.analysis.curves import (
@@ -23,7 +30,41 @@ from repro.analysis.telemetry import (
     metric_value,
 )
 
+# attribution's names resolve lazily so `python -m repro.analysis.
+# attribution` does not re-import the module runpy is about to execute
+_ATTRIBUTION_NAMES = frozenset(
+    {
+        "aggregate",
+        "attribute_run",
+        "budget_rows",
+        "crossover_queue_length",
+        "dominant_stage",
+        "end_to_end_ps",
+        "format_report",
+        "stage_budget",
+        "stage_series",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _ATTRIBUTION_NAMES:
+        from repro.analysis import attribution
+
+        return getattr(attribution, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "aggregate",
+    "attribute_run",
+    "budget_rows",
+    "crossover_queue_length",
+    "dominant_stage",
+    "end_to_end_ps",
+    "format_report",
+    "stage_budget",
+    "stage_series",
     "per_entry_slope_ns",
     "detect_knee",
     "crossover_length",

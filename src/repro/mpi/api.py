@@ -42,6 +42,11 @@ class MpiProcess:
         self._inflight: Dict[int, MpiRequest] = {}
         self._initialized = False
         self._finalized = False
+        #: the per-message flight recorder (no-op unless the world's
+        #: telemetry bundle enabled it); public so benchmark harnesses can
+        #: label requests of interest (e.g. the timed pings)
+        self.lifecycle = world.engine.lifecycle
+        self._lifecycle = self.lifecycle
         #: host buffer allocator cursor (receives/sends get distinct buffers)
         self._buffer_cursor = 0x4000_0000 + rank * 0x100_0000
 
@@ -92,11 +97,22 @@ class MpiProcess:
             raise MpiError(f"send tag must be non-negative, got {tag}")
         request = self._new_request(RequestKind.SEND, dest, tag, comm, size)
         request.posted_at = yield now()
+        rec = self._lifecycle
+        if rec.enabled:
+            rec.begin(
+                "send",
+                self.rank,
+                request.req_id,
+                request.posted_at,
+                {"dest": dest, "tag": tag, "size": size},
+            )
         yield delay(
             self.proc.compute(
                 self.cost.call_overhead_cycles + self.cost.command_build_cycles
             )
         )
+        if rec.enabled:
+            rec.mark_request(self.rank, request.req_id, "host_issue")
         self.host.send_command(
             PostSend(
                 req_id=request.req_id,
@@ -126,11 +142,22 @@ class MpiProcess:
             raise MpiError(f"recv tag must be non-negative or ANY_TAG, got {tag}")
         request = self._new_request(RequestKind.RECV, source, tag, comm, size)
         request.posted_at = yield now()
+        rec = self._lifecycle
+        if rec.enabled:
+            rec.begin(
+                "recv",
+                self.rank,
+                request.req_id,
+                request.posted_at,
+                {"source": source, "tag": tag, "size": size},
+            )
         yield delay(
             self.proc.compute(
                 self.cost.call_overhead_cycles + self.cost.command_build_cycles
             )
         )
+        if rec.enabled:
+            rec.mark_request(self.rank, request.req_id, "host_issue")
         self.host.send_command(
             PostRecv(
                 req_id=request.req_id,
@@ -256,6 +283,13 @@ class MpiProcess:
                 )
             request.done = True
             request.completed_at = yield now()
+            if self._lifecycle.enabled:
+                self._lifecycle.complete_request(
+                    self.rank,
+                    request.req_id,
+                    request.completed_at,
+                    recv=request.kind is RequestKind.RECV,
+                )
             if request.kind is RequestKind.RECV:
                 request.status = MpiStatus(
                     source=completion.source,

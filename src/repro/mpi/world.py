@@ -115,7 +115,10 @@ class MpiWorld:
         self.telemetry = telemetry
         if telemetry is not None:
             self.engine = Engine(
-                tracer=telemetry.tracer, metrics=telemetry.metrics
+                tracer=telemetry.tracer,
+                metrics=telemetry.metrics,
+                lifecycle=getattr(telemetry, "lifecycle", None),
+                profiler=getattr(telemetry, "profiler", None),
             )
         else:
             self.engine = Engine()

@@ -103,6 +103,18 @@ class Fabric(Component):
         self._seq[key] = seq + 1
         stamped = dataclasses.replace(packet, seq=seq)
         self._links[packet.src][packet.dst].send(stamped, stamped.wire_bytes)
+        lifecycle = self.engine.lifecycle
+        if lifecycle.enabled:
+            lifecycle.mark_uid(
+                stamped.send_id,
+                "wire",
+                detail={
+                    "kind": stamped.kind.name,
+                    "src": stamped.src,
+                    "dst": stamped.dst,
+                    "bytes": stamped.wire_bytes,
+                },
+            )
         self.packets_delivered += 1
         self._m_packets.inc()
         self._m_bytes.inc(stamped.wire_bytes)

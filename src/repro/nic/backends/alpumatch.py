@@ -68,6 +68,12 @@ class AlpuMatchBackend(MatchBackend):
     ):
         """Section IV-D result handling: ALPU response, then the software
         suffix on MATCH FAILURE."""
+        rec = self.fw.lifecycle
+        if rec.enabled:
+            rec.search_note(
+                alpu=driver.device.name,
+                alpu_occupancy=driver.device.alpu.occupancy,
+            )
         # "the processor should first retrieve the copy of the data
         # provided to it and then retrieve the response": one bus read for
         # the replicated header copy, then the result-FIFO read

@@ -9,9 +9,9 @@ queue-manipulation engine as a swappable unit behind a fixed interface.
 
 All protocol methods are **simulation generators**: they are driven from
 the firmware's process with ``yield from`` and charge processor cycles,
-cache-modelled memory touches (via the :class:`~repro.nic.hashmatch.OpCost`
-path) and bus time as they go.  A method that costs nothing simply
-returns without yielding.
+cache-modelled memory touches (via the
+:class:`~repro.nic.backends.hashmatch.OpCost` path) and bus time as they
+go.  A method that costs nothing simply returns without yielding.
 
 The four core operations (plus two indexing hooks and a maintenance
 hook):

@@ -1,15 +1,16 @@
 """The Section II hash-table matching engine (software-only).
 
-Wraps two :class:`~repro.nic.hashmatch.HashMatchTable` structures (one
-per queue side) behind the :class:`MatchBackend` protocol, charging every
-probe, compare, insert and removal through the firmware's cost model.
+Wraps two :class:`~repro.nic.backends.hashmatch.HashMatchTable`
+structures (one per queue side) behind the :class:`MatchBackend`
+protocol, charging every probe, compare, insert and removal through the
+firmware's cost model.
 """
 
 from __future__ import annotations
 
 from repro.core.match import MatchRequest
 from repro.nic.backends.base import MatchBackend
-from repro.nic.hashmatch import HashMatchTable
+from repro.nic.backends.hashmatch import HashMatchTable
 from repro.nic.queues import NicQueue, QueueEntry
 
 
@@ -62,6 +63,7 @@ class HashTableBackend(MatchBackend):
         incoming: bool,
     ):
         """Search one table, charging its costs; removal is table-internal."""
+        probes_before = table.probes
         if incoming:
             entry, op_cost = table.match_incoming(request)
         else:
@@ -69,6 +71,9 @@ class HashTableBackend(MatchBackend):
         # lines examined is the traversal metric comparable to the list's
         lines_examined = len(op_cost.touches)
         self.fw.record_traversal(lines_examined)
+        rec = self.fw.lifecycle
+        if rec.enabled:
+            rec.search_note(hash_probes=table.probes - probes_before)
         yield from self.charge(op_cost)
         if entry is not None:
             yield from self.retire(entry, queue)

@@ -102,6 +102,9 @@ class NicFirmware:
         # and the tracer for search spans / queue events
         registry = nic.engine.metrics
         self.tracer = nic.engine.tracer
+        #: the per-message flight recorder (no-op unless enabled); marks
+        #: are plain calls and never charge simulated time
+        self.lifecycle = nic.engine.lifecycle
         prefix = f"{nic.name}.fw"
         self._m_headers_matched = registry.counter(f"{prefix}/headers_matched")
         self._m_headers_unexpected = registry.counter(
@@ -148,6 +151,10 @@ class NicFirmware:
         yield delay(
             self.proc.compute(self.cost.poll_cycles + self.cost.header_parse_cycles)
         )
+        if self.lifecycle.enabled:
+            self.lifecycle.mark_uid(
+                packet.send_id, "nic_rx", detail={"kind": packet.kind.name}
+            )
         if packet.kind in (PacketKind.EAGER, PacketKind.RNDV_RTS):
             yield from self._handle_match_packet(packet)
         elif packet.kind is PacketKind.RNDV_CTS:
@@ -159,11 +166,43 @@ class NicFirmware:
     def _handle_match_packet(self, packet: Packet):
         """Run the incoming header against the posted receive queue."""
         request = MatchRequest(bits=packet.match_bits)
+        rec = self.lifecycle
+        if rec.enabled:
+            visited_before = self.entries_traversed
+            rec.mark_uid(
+                packet.send_id,
+                "match_search",
+                detail={
+                    "queue": self.posted_recv_q.name,
+                    "depth": len(self.posted_recv_q),
+                },
+            )
         entry = yield from self.backend.match_arrival(request)
+        if rec.enabled:
+            rec.annotate_uid(
+                packet.send_id,
+                visited=self.entries_traversed - visited_before,
+                hit=entry is not None,
+                **rec.pop_search_notes(),
+            )
         if entry is not None:
             self.headers_matched += 1
             self._m_headers_matched.inc()
             self.pairings.append((entry.host_req_id, packet.send_id))
+            if rec.enabled:
+                # the receive-side entry now carries the message through
+                # delivery/DMA/completion; its host receive's completion
+                # is the message's terminal event
+                rec.alias_uid(entry.uid, packet.send_id)
+                rec.mark_request(
+                    entry.owner_rank,
+                    entry.host_req_id,
+                    "matched",
+                    detail={"via": "arrival"},
+                )
+                rec.watch_completion(
+                    entry.owner_rank, entry.host_req_id, packet.send_id
+                )
             yield from self._deliver_to_receive(packet, entry)
         else:
             self.headers_unexpected += 1
@@ -179,6 +218,8 @@ class NicFirmware:
         if packet.kind is PacketKind.EAGER:
             yield from self._start_recv_payload(entry, packet.payload_bytes)
         else:  # RNDV_RTS: grant the sender a clear-to-send
+            if self.lifecycle.enabled:
+                self.lifecycle.mark_uid(packet.send_id, "rndv_cts")
             yield delay(self.proc.compute(self.cost.rendezvous_cycles))
             self.active_recv_q[entry.uid] = entry
             self.nic.inject(
@@ -195,15 +236,23 @@ class NicFirmware:
 
     def _start_recv_payload(self, entry: QueueEntry, payload_bytes: int):
         """DMA arrived payload to the host buffer, then complete."""
+        if self.lifecycle.enabled:
+            self.lifecycle.mark_uid(
+                entry.uid, "deliver", detail={"bytes": payload_bytes}
+            )
         if payload_bytes == 0:
             yield from self._complete_recv(entry)
             self._release(entry)
             return
         yield delay(self.proc.compute(self.cost.dma_setup_cycles))
+        if self.lifecycle.enabled:
+            self.lifecycle.mark_uid(entry.uid, "rx_dma")
         self.nic.rx_dma.start(payload_bytes, ("recv_done", entry))
 
     def _complete_recv(self, entry: QueueEntry):
         """Completion carrying the matched envelope (MPI_Status)."""
+        if self.lifecycle.enabled:
+            self.lifecycle.mark_uid(entry.uid, "completion")
         yield delay(self.proc.compute(self.cost.completion_cycles))
         link = self.nic.completion_link(self.nic.lproc_of(entry.owner_rank))
         link.send(
@@ -227,6 +276,12 @@ class NicFirmware:
             if packet.kind is PacketKind.EAGER
             else EntryKind.UNEXPECTED_RNDV
         )
+        if self.lifecycle.enabled:
+            self.lifecycle.mark_uid(
+                packet.send_id,
+                "unexpected_queue",
+                detail={"depth": len(self.unexpected_q)},
+            )
         entry = self.unexpected_q.allocate_entry(
             kind=kind,
             bits=packet.match_bits,
@@ -256,6 +311,8 @@ class NicFirmware:
                 f"nic{self.nic.node_id}: CTS for unknown send {packet.send_id}"
             )
         entry, dest = record
+        if self.lifecycle.enabled:
+            self.lifecycle.mark_uid(entry.uid, "rndv_data_dma")
         yield delay(self.proc.compute(self.cost.dma_setup_cycles))
         data = Packet(
             kind=PacketKind.RNDV_DATA,
@@ -299,9 +356,51 @@ class NicFirmware:
             command.tag,
         )
         request = MatchRequest(bits=bits, mask=mask)
+        rec = self.lifecycle
+        if rec.enabled:
+            search_began = self.nic.engine.now
+            visited_before = self.entries_traversed
+            rec.mark_request(
+                command.rank,
+                command.req_id,
+                "unexpected_search",
+                search_began,
+                {
+                    "queue": self.unexpected_q.name,
+                    "depth": len(self.unexpected_q),
+                },
+            )
         unexpected = yield from self.backend.consume_unexpected(request)
+        if rec.enabled:
+            search_facts = dict(
+                visited=self.entries_traversed - visited_before,
+                hit=unexpected is not None,
+                **rec.pop_search_notes(),
+            )
+            rec.annotate_request(command.rank, command.req_id, **search_facts)
         if unexpected is not None:
             self.pairings.append((command.req_id, unexpected.peer_send_id))
+            if rec.enabled:
+                rec.mark_request(
+                    command.rank,
+                    command.req_id,
+                    "matched",
+                    detail={"via": "unexpected"},
+                )
+                # retroactive message attribution: only now do we know
+                # which parked message this search served.  Stamping the
+                # search's start time keeps the mark monotone -- the
+                # message was enqueued before the search began.
+                rec.mark_uid(
+                    unexpected.peer_send_id,
+                    "unexpected_search",
+                    search_began,
+                    search_facts,
+                )
+                rec.alias_uid(unexpected.uid, unexpected.peer_send_id)
+                rec.watch_completion(
+                    command.rank, command.req_id, unexpected.peer_send_id
+                )
             yield from self._consume_unexpected(command, unexpected)
             return
         entry = self.posted_recv_q.allocate_entry(
@@ -316,6 +415,13 @@ class NicFirmware:
         cost += self.proc.touch(entry.addr, ENTRY_BYTES, write=True)
         yield delay(cost)
         self.posted_recv_q.append(entry)
+        if rec.enabled:
+            rec.mark_request(
+                command.rank,
+                command.req_id,
+                "posted_wait",
+                detail={"depth": len(self.posted_recv_q)},
+            )
         yield from self.backend.post_receive(entry)
 
     def _consume_unexpected(self, command: PostRecv, unexpected: QueueEntry):
@@ -334,6 +440,8 @@ class NicFirmware:
             # payload is parked in NIC memory; move it to the host buffer
             yield from self._start_recv_payload(unexpected, unexpected.size)
         else:  # rendezvous: grant the sender a CTS now
+            if self.lifecycle.enabled:
+                self.lifecycle.mark_uid(unexpected.uid, "rndv_cts")
             yield delay(self.proc.compute(self.cost.rendezvous_cycles))
             self.active_recv_q[unexpected.uid] = unexpected
             self.nic.inject(
@@ -351,6 +459,14 @@ class NicFirmware:
     def _post_send(self, command: PostSend):
         # the match word carries the *destination's* folded context and
         # the sender's global rank as the source field
+        rec = self.lifecycle
+        if rec.enabled:
+            rec.mark_request(
+                command.rank,
+                command.req_id,
+                "nic_post",
+                detail={"size": command.size},
+            )
         bits = self.fmt.pack(
             self.nic.effective_context(command.context, command.dest),
             command.rank,
@@ -365,6 +481,10 @@ class NicFirmware:
             host_req_id=command.req_id,
             owner_rank=command.rank,
         )
+        if rec.enabled:
+            # the lifecycle follows the wire entity from here on: packets
+            # carry ``send_id=entry.uid``, so bind it to the send request
+            rec.bind_uid(command.rank, command.req_id, entry.uid)
         cost = self.proc.compute(self.cost.enqueue_cycles)
         cost += self.proc.touch(entry.addr, ENTRY_BYTES, write=True)
         yield delay(cost)
@@ -385,6 +505,8 @@ class NicFirmware:
                 self._release(entry)
             else:
                 yield delay(self.proc.compute(self.cost.dma_setup_cycles))
+                if rec.enabled:
+                    rec.mark_uid(entry.uid, "tx_dma")
                 self.nic.tx_dma.start(command.size, ("send_out", packet, entry))
         else:
             self.pending_rndv_sends[entry.uid] = (entry, dest_node)

@@ -216,6 +216,13 @@ class Nic(Component):
     # -------------------------------------------------------- hardware hooks
     def _on_packet_arrival(self, packet: Packet) -> None:
         """Hardware actions at packet delivery (no processor involvement)."""
+        lifecycle = self.engine.lifecycle
+        if lifecycle.enabled:
+            lifecycle.mark_uid(
+                packet.send_id,
+                "rx_queue",
+                detail={"node": self.node_id, "kind": packet.kind.name},
+            )
         if self.posted_device is not None and packet.kind in (
             PacketKind.EAGER,
             PacketKind.RNDV_RTS,

@@ -13,6 +13,13 @@ that makes those quantities visible:
   in Perfetto or ``chrome://tracing``;
 * :mod:`repro.obs.probe` -- periodic sampling of state quantities (queue
   depths, occupancy) into histograms and counter tracks;
+* :mod:`repro.obs.lifecycle` -- the per-message flight recorder: every
+  MPI message carries an ordered list of ``(time_ps, stage, detail)``
+  transition marks from post to completion, folded into stage-residency
+  budgets by :mod:`repro.analysis.attribution`;
+* :mod:`repro.obs.selfprof` -- wall-clock self-profiling of the
+  simulator (events/sec, per-handler time) for the committed benchmark
+  baseline;
 * :mod:`repro.obs.telemetry` -- the per-run bundle workloads accept.
 
 Telemetry is opt-in and zero-perturbation: disabled (the default) it
@@ -25,6 +32,14 @@ imports *it*), so any layer may use it without cycles.
 """
 
 from repro.obs.chrome import chrome_trace_events, to_chrome, write_chrome_trace
+from repro.obs.lifecycle import (
+    LifecycleMark,
+    LifecycleRecorder,
+    MessageLifecycle,
+    NullLifecycleRecorder,
+    NULL_LIFECYCLE,
+    TERMINAL_STAGE,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -34,10 +49,18 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
 )
 from repro.obs.probe import DEFAULT_INTERVAL_PS, SamplingProbe
+from repro.obs.selfprof import SimProfiler
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracer import NullTracer, NULL_TRACER, Tracer, TraceRecord
 
 __all__ = [
+    "LifecycleMark",
+    "LifecycleRecorder",
+    "MessageLifecycle",
+    "NullLifecycleRecorder",
+    "NULL_LIFECYCLE",
+    "TERMINAL_STAGE",
+    "SimProfiler",
     "Counter",
     "Gauge",
     "Histogram",

@@ -19,9 +19,11 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional
 
-from repro.obs.chrome import to_chrome, write_chrome_trace
+from repro.obs.chrome import to_chrome
+from repro.obs.lifecycle import LifecycleRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import DEFAULT_INTERVAL_PS
+from repro.obs.selfprof import SimProfiler
 from repro.obs.tracer import Tracer
 
 
@@ -34,11 +36,17 @@ class Telemetry:
         metrics: bool = True,
         tracing: bool = True,
         probe_interval_ps: Optional[int] = DEFAULT_INTERVAL_PS,
+        lifecycle: bool = False,
+        profile: bool = False,
     ) -> None:
         self.metrics = MetricsRegistry() if metrics else None
         self.tracer = Tracer() if tracing else None
         #: None disables the periodic queue-depth/occupancy probe
         self.probe_interval_ps = probe_interval_ps
+        #: per-message flight recorder (opt-in; see repro.obs.lifecycle)
+        self.lifecycle = LifecycleRecorder() if lifecycle else None
+        #: wall-clock simulator self-profiler (opt-in)
+        self.profiler = SimProfiler() if profile else None
 
     # ------------------------------------------------------------- outputs
     def snapshot(self) -> Dict[str, object]:
@@ -46,14 +54,41 @@ class Telemetry:
         return self.metrics.snapshot() if self.metrics is not None else {}
 
     def chrome_trace(self) -> dict:
-        """The Chrome trace-event document for the collected records."""
+        """The Chrome trace-event document for the collected records.
+
+        When the lifecycle recorder is on, its per-message tracks ride
+        in the same document (a second "process" next to the component
+        tracks).
+        """
         records = self.tracer.records if self.tracer is not None else ()
-        return to_chrome(records)
+        document = to_chrome(records)
+        if self.lifecycle is not None:
+            document["traceEvents"].extend(self.lifecycle.chrome_events())
+        return document
+
+    def lifecycles(self) -> list:
+        """The recorded lifecycles ([] when the recorder is off)."""
+        return list(self.lifecycle.lifecycles) if self.lifecycle else []
+
+    def write_lifecycles(self, path) -> dict:
+        """Dump the lifecycle record as JSON (the attribution CLI input)."""
+        document = (
+            self.lifecycle.to_obj()
+            if self.lifecycle is not None
+            else {"lifecycles": []}
+        )
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+        return document
 
     def write_chrome_trace(self, path) -> dict:
-        """Write the Chrome trace JSON to ``path``."""
-        records = self.tracer.records if self.tracer is not None else ()
-        return write_chrome_trace(path, records)
+        """Write the Chrome trace JSON (incl. lifecycle tracks) to ``path``."""
+        document = self.chrome_trace()
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+        return document
 
     def report(self, **meta) -> dict:
         """A JSON-serializable run report: metadata + metrics snapshot."""

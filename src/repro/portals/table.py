@@ -49,6 +49,7 @@ from repro.core.commands import (
 )
 from repro.core.match import MatchRequest
 from repro.nic.backends.registry import Registry
+from repro.obs.lifecycle import NULL_LIFECYCLE, TERMINAL_STAGE
 
 #: Portals match/ignore width
 PORTALS_MATCH_WIDTH = 64
@@ -213,11 +214,26 @@ class PortalTable:
     backend:
         Any name registered in :data:`PORTALS_MATCHERS` -- stock values
         are ``"software"`` (linear list) and ``"alpu"``.
+    lifecycle:
+        An optional :class:`~repro.obs.lifecycle.LifecycleRecorder`.
+        The table is untimed, so each ME's lifecycle ticks on a local
+        operation counter instead of simulated time: ``me_linked`` at
+        append, ``matched`` on persistent hits, and the terminal stage
+        when the ME leaves the list (use-once match or explicit unlink,
+        with the outcome in the terminal mark's detail).
     """
 
-    def __init__(self, backend: str = "software", *, alpu_cells: int = 128) -> None:
+    def __init__(
+        self,
+        backend: str = "software",
+        *,
+        alpu_cells: int = 128,
+        lifecycle=None,
+    ) -> None:
         matcher_cls = PORTALS_MATCHERS.get(backend)
         self.backend = backend
+        self.lifecycle = lifecycle if lifecycle is not None else NULL_LIFECYCLE
+        self._ops = 0
         self._entries: List[MatchListEntry] = []
         self._matcher: PortalsMatcher = matcher_cls(self, alpu_cells=alpu_cells)
 
@@ -231,11 +247,30 @@ class PortalTable:
 
     def append(self, entry: MatchListEntry) -> None:
         """Link an ME at the tail of the match list."""
+        self._ops += 1
+        if self.lifecycle.enabled:
+            self.lifecycle.begin(
+                "me",
+                0,
+                entry.me_id,
+                time_ps=self._ops,
+                detail={"use_once": entry.use_once, "depth": len(self._entries)},
+                stage="me_linked",
+            )
         self._matcher.append(entry)
 
     def unlink(self, entry: MatchListEntry) -> None:
         """Explicitly unlink an ME (PtlMEUnlink)."""
+        self._ops += 1
         self._matcher.unlink(entry)
+        if self.lifecycle.enabled:
+            self.lifecycle.mark_request(
+                0,
+                entry.me_id,
+                TERMINAL_STAGE,
+                time_ps=self._ops,
+                detail={"outcome": "unlinked"},
+            )
 
     # ------------------------------------------------------------- matching
     def deliver(self, match_bits: int) -> Optional[MatchListEntry]:
@@ -244,4 +279,19 @@ class PortalTable:
         ``use_once`` winners are unlinked; persistent winners stay, in
         place.
         """
-        return self._matcher.deliver(match_bits)
+        self._ops += 1
+        entry = self._matcher.deliver(match_bits)
+        if entry is not None and self.lifecycle.enabled:
+            if entry.use_once:
+                self.lifecycle.mark_request(
+                    0,
+                    entry.me_id,
+                    TERMINAL_STAGE,
+                    time_ps=self._ops,
+                    detail={"outcome": "matched"},
+                )
+            else:
+                self.lifecycle.mark_request(
+                    0, entry.me_id, "matched", time_ps=self._ops
+                )
+        return entry

@@ -11,7 +11,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.obs.lifecycle import NULL_LIFECYCLE
 from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.selfprof import perf_counter
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.event import Event, EventHandle
 
@@ -38,6 +40,15 @@ class Engine:
     metrics:
         A :class:`repro.obs.metrics.MetricsRegistry` components obtain
         instruments from.  Defaults to the shared no-op registry.
+    lifecycle:
+        A :class:`repro.obs.lifecycle.LifecycleRecorder` the MPI layer,
+        NIC firmware and network mark per-message stage transitions
+        into.  Defaults to the shared no-op recorder
+        (``engine.lifecycle.enabled`` is False).
+    profiler:
+        A :class:`repro.obs.selfprof.SimProfiler`; when set, ``step``
+        times every event handler with the wall clock.  Never touches
+        simulated state.
     """
 
     def __init__(
@@ -46,6 +57,8 @@ class Engine:
         *,
         tracer=None,
         metrics=None,
+        lifecycle=None,
+        profiler=None,
     ) -> None:
         self._heap: list[Event] = []
         self._now: int = 0
@@ -54,6 +67,8 @@ class Engine:
         self._stopped = False
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.lifecycle = lifecycle if lifecycle is not None else NULL_LIFECYCLE
+        self.profiler = profiler
         if trace is not None:
             # legacy hook: promote to a real tracer if none was supplied
             # and forward every record as (time_ps, "category:name")
@@ -63,6 +78,7 @@ class Engine:
                 lambda rec: trace(rec.time_ps, f"{rec.category}:{rec.name}")
             )
         self.tracer.attach_clock(lambda: self._now)
+        self.lifecycle.attach_clock(lambda: self._now)
 
     # ------------------------------------------------------------------ time
     @property
@@ -142,7 +158,13 @@ class Engine:
                 raise SimulationError("event heap produced a past event")
             self._now = event.time
             self._fired += 1
-            event.action()
+            profiler = self.profiler
+            if profiler is None:
+                event.action()
+            else:
+                start = perf_counter()
+                event.action()
+                profiler.record(event.action, perf_counter() - start)
             return True
         return False
 

@@ -1,0 +1,284 @@
+"""The committed benchmark regression baseline (``BENCH_baseline.json``).
+
+A canonical mini-grid -- one Figure-5 point and one Figure-6 point per
+matching backend (list, hash, alpu128) -- is run on every CI build and
+compared against the committed baseline:
+
+* **Simulated latencies must match exactly.**  The simulator is
+  deterministic; any drift in a latency is a semantic change and fails
+  the check (update the baseline deliberately with ``--write``).
+* **Wall-clock throughput may drift.**  Each point also records the
+  simulator's self-profile (events/sec via
+  :class:`repro.obs.selfprof.SimProfiler`); a slowdown beyond 25%
+  against the baseline prints a warning -- machines differ, so it never
+  fails the build.
+
+CLI::
+
+    python -m repro.workloads.bench --check [BENCH_baseline.json]
+    python -m repro.workloads.bench --write [BENCH_baseline.json]
+    python -m repro.workloads.bench --check --artifacts out/
+
+``--artifacts DIR`` additionally runs one attribution-instrumented
+Figure-5 point (list vs. alpu at queue depth 50) and drops the text
+report, the JSON report and a per-message Chrome trace there -- CI
+uploads the directory as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: committed baseline location, relative to the repository root
+DEFAULT_PATH = "BENCH_baseline.json"
+
+#: schema version of the baseline file
+BASELINE_VERSION = 1
+
+#: wall-clock slowdown that triggers the (non-fatal) warning
+WALLCLOCK_WARN_FRACTION = 0.25
+
+#: the canonical mini-grid: (benchmark, preset, params).  Small iteration
+#: counts keep the CI step in seconds; the latencies are deterministic
+#: regardless.
+GRID: Tuple[Tuple[str, str, Dict[str, object]], ...] = (
+    (
+        "preposted",
+        "baseline",
+        {"queue_length": 24, "traverse_fraction": 1.0, "iterations": 4, "warmup": 1},
+    ),
+    (
+        "preposted",
+        "hash",
+        {"queue_length": 24, "traverse_fraction": 1.0, "iterations": 4, "warmup": 1},
+    ),
+    (
+        "preposted",
+        "alpu128",
+        {"queue_length": 24, "traverse_fraction": 1.0, "iterations": 4, "warmup": 1},
+    ),
+    ("unexpected", "baseline", {"queue_length": 16, "iterations": 4, "warmup": 1}),
+    ("unexpected", "hash", {"queue_length": 16, "iterations": 4, "warmup": 1}),
+    ("unexpected", "alpu128", {"queue_length": 16, "iterations": 4, "warmup": 1}),
+)
+
+
+def _point_id(benchmark: str, preset: str, params: Dict[str, object]) -> str:
+    axes = "_".join(
+        f"{name}={params[name]}" for name in sorted(params) if name not in
+        ("iterations", "warmup")
+    )
+    return f"{benchmark}/{preset}/{axes}"
+
+
+def run_grid() -> List[Dict[str, object]]:
+    """Run every grid point with the self-profiler on; returns records."""
+    from repro.obs.telemetry import Telemetry
+    from repro.workloads.preposted import PrepostedParams, run_preposted
+    from repro.workloads.sweep import nic_preset
+    from repro.workloads.unexpected import UnexpectedParams, run_unexpected
+
+    records = []
+    for benchmark, preset, params in GRID:
+        bundle = Telemetry(tracing=False, profile=True)
+        nic = nic_preset(preset)
+        if benchmark == "preposted":
+            result = run_preposted(
+                nic, PrepostedParams(**params), telemetry=bundle
+            )
+        else:
+            result = run_unexpected(
+                nic, UnexpectedParams(**params), telemetry=bundle
+            )
+        profile = bundle.profiler.snapshot(top=5)
+        records.append(
+            {
+                "id": _point_id(benchmark, preset, params),
+                "benchmark": benchmark,
+                "preset": preset,
+                "params": dict(params),
+                "latencies_ns": list(result.latencies_ns),
+                "median_ns": result.median_ns,
+                "events": profile["events"],
+                "events_per_sec": profile["events_per_sec"],
+            }
+        )
+    return records
+
+
+def write_baseline(path: str) -> List[Dict[str, object]]:
+    """Run the grid and commit it as the new baseline file."""
+    records = run_grid()
+    payload = {"version": BASELINE_VERSION, "grid": records}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return records
+
+
+def check_baseline(
+    path: str, records: Optional[List[Dict[str, object]]] = None
+) -> Tuple[bool, List[str]]:
+    """Compare a fresh grid run against the committed baseline.
+
+    Returns ``(ok, messages)``: ``ok`` is False only for simulated-
+    latency mismatches (and structural drift of the grid itself);
+    wall-clock regressions only append warning messages.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if records is None:
+        records = run_grid()
+    by_id = {record["id"]: record for record in baseline.get("grid", ())}
+    ok = True
+    messages: List[str] = []
+    for record in records:
+        reference = by_id.pop(record["id"], None)
+        if reference is None:
+            ok = False
+            messages.append(f"FAIL {record['id']}: not in baseline")
+            continue
+        if record["latencies_ns"] != reference["latencies_ns"]:
+            ok = False
+            messages.append(
+                f"FAIL {record['id']}: latencies {record['latencies_ns']} "
+                f"!= baseline {reference['latencies_ns']}"
+            )
+        else:
+            messages.append(
+                f"ok   {record['id']}: median {record['median_ns']:.1f} ns"
+            )
+        base_rate = reference.get("events_per_sec") or 0.0
+        rate = record.get("events_per_sec") or 0.0
+        if base_rate and rate < base_rate * (1.0 - WALLCLOCK_WARN_FRACTION):
+            messages.append(
+                f"WARN {record['id']}: {rate:,.0f} events/s is "
+                f">{WALLCLOCK_WARN_FRACTION:.0%} below baseline "
+                f"{base_rate:,.0f} events/s"
+            )
+    for stale in by_id:
+        ok = False
+        messages.append(f"FAIL {stale}: in baseline but not in the grid")
+    return ok, messages
+
+
+# ------------------------------------------------------------- artifacts
+#: the attribution showcase point (the EXPERIMENTS.md budget table)
+ARTIFACT_QUEUE_LENGTH = 50
+
+
+def write_artifacts(directory: str) -> List[str]:
+    """The attribution report + per-message Chrome trace for CI upload.
+
+    Runs the list and alpu128 receivers through one Figure-5 point at
+    queue depth :data:`ARTIFACT_QUEUE_LENGTH` with the flight recorder
+    on; writes ``attribution_<preset>.txt``, ``attribution.json`` and
+    ``lifecycle_trace_<preset>.json`` into ``directory``.
+    """
+    from repro.analysis.attribution import attribute_run, format_report
+    from repro.obs.lifecycle import lifecycle_chrome_events
+    from repro.obs.telemetry import Telemetry
+    from repro.workloads.preposted import PrepostedParams, run_preposted
+    from repro.workloads.sweep import nic_preset
+
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    reports: Dict[str, object] = {}
+    params = PrepostedParams(
+        queue_length=ARTIFACT_QUEUE_LENGTH,
+        traverse_fraction=1.0,
+        iterations=8,
+        warmup=2,
+    )
+    for preset in ("baseline", "alpu128"):
+        bundle = Telemetry(tracing=False, lifecycle=True)
+        run_preposted(nic_preset(preset), params, telemetry=bundle)
+        lifecycles = bundle.lifecycles()
+        report = attribute_run(lifecycles)
+        reports[preset] = report
+        text_path = os.path.join(directory, f"attribution_{preset}.txt")
+        with open(text_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                format_report(
+                    report,
+                    title=(
+                        f"preposted / {preset}, "
+                        f"queue_length={ARTIFACT_QUEUE_LENGTH}"
+                    ),
+                )
+            )
+            handle.write("\n")
+        written.append(text_path)
+        trace_path = os.path.join(
+            directory, f"lifecycle_trace_{preset}.json"
+        )
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"traceEvents": lifecycle_chrome_events(lifecycles)}, handle
+            )
+        written.append(trace_path)
+    json_path = os.path.join(directory, "attribution.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(reports, handle, indent=1)
+    written.append(json_path)
+    return written
+
+
+# --------------------------------------------------------------- the CLI
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.bench",
+        description="Run / check the committed benchmark regression baseline",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=DEFAULT_PATH,
+        help=f"baseline file (default {DEFAULT_PATH})",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--write", action="store_true", help="run the grid, write the baseline"
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="run the grid, fail on any simulated-latency mismatch",
+    )
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help="also write attribution reports + Chrome traces into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    status = 0
+    if args.write:
+        records = write_baseline(args.path)
+        print(f"wrote {args.path} ({len(records)} grid points)")
+        for record in records:
+            print(
+                f"  {record['id']}: median {record['median_ns']:.1f} ns, "
+                f"{record['events_per_sec']:,.0f} events/s"
+            )
+    else:
+        ok, messages = check_baseline(args.path)
+        for message in messages:
+            print(message)
+        if not ok:
+            print("benchmark baseline check FAILED (simulated latency drift)")
+            status = 1
+        else:
+            print("benchmark baseline check passed")
+    if args.artifacts:
+        for path in write_artifacts(args.artifacts):
+            print(f"artifact: {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

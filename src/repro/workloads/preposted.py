@@ -153,7 +153,17 @@ def run_preposted(
         for iteration in range(total_iters):
             ping_tag = queue_model[depth]
             send_stamps[iteration] = yield now()
-            yield from mpi.send(dest=1, tag=ping_tag, size=params.message_size)
+            ping = yield from mpi.send(
+                dest=1, tag=ping_tag, size=params.message_size
+            )
+            if mpi.lifecycle.enabled:
+                mpi.lifecycle.label_request(
+                    mpi.rank,
+                    ping.req_id,
+                    "ping",
+                    iteration=iteration,
+                    timed=iteration >= params.warmup,
+                )
             yield from mpi.wait(pongs[iteration])
         yield from mpi.recv(source=1, tag=PONG_TAG + 1, size=0)
         for tag in list(queue_model):

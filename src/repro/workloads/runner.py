@@ -52,6 +52,7 @@ def sweep_preposted(
     iterations: int = 12,
     warmup: int = 3,
     telemetry: bool = False,
+    lifecycle: bool = False,
     workers: Optional[int] = None,
     cache: Optional[SweepCache] = None,
 ) -> List[PrepostedRow]:
@@ -61,6 +62,9 @@ def sweep_preposted(
     :class:`~repro.obs.Telemetry` bundle (metrics only -- the probe stays
     on, tracing stays off to bound memory) and its snapshot rides on the
     row's ``metrics`` field; :func:`dump_telemetry` serializes the lot.
+    With ``lifecycle=True`` every point additionally records per-message
+    lifecycles and attaches the folded stage-budget report to the row's
+    ``attribution`` field.
 
     ``workers``/``cache`` pass straight through to
     :func:`~repro.workloads.sweep.run_sweep` (process fan-out, memoized
@@ -74,6 +78,7 @@ def sweep_preposted(
         iterations=iterations,
         warmup=warmup,
         telemetry=telemetry,
+        lifecycle=lifecycle,
     )
     return run_sweep(spec, workers=workers, cache=cache)
 
@@ -86,12 +91,14 @@ def sweep_unexpected(
     iterations: int = 12,
     warmup: int = 3,
     telemetry: bool = False,
+    lifecycle: bool = False,
     workers: Optional[int] = None,
     cache: Optional[SweepCache] = None,
 ) -> List[UnexpectedRow]:
     """Run the unexpected benchmark over a (preset x length) grid.
 
-    ``telemetry=True`` attaches a per-point metrics snapshot, and
+    ``telemetry=True`` attaches a per-point metrics snapshot,
+    ``lifecycle=True`` a per-point attribution report, and
     ``workers``/``cache`` fan out / memoize, exactly as in
     :func:`sweep_preposted`.
     """
@@ -102,6 +109,7 @@ def sweep_unexpected(
         iterations=iterations,
         warmup=warmup,
         telemetry=telemetry,
+        lifecycle=lifecycle,
     )
     return run_sweep(spec, workers=workers, cache=cache)
 

@@ -31,6 +31,7 @@ import multiprocessing
 import os
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.attribution import attribute_run
 from repro.nic.nic import NicConfig
 from repro.obs.telemetry import Telemetry
 from repro.workloads.preposted import PrepostedParams, run_preposted
@@ -41,14 +42,23 @@ PRESETS = ("baseline", "alpu128", "alpu256")
 
 
 def nic_preset(name: str, *, block_size: int = 16) -> NicConfig:
-    """Build one of the paper's three NIC configurations."""
+    """Build one of the paper's receiver configurations by name.
+
+    Beyond the three Figure 5/6 presets (:data:`PRESETS`), ``"hash"``
+    builds the Section II hash-table ablation NIC so sweeps and the
+    benchmark baseline can cover it with the same plumbing.
+    """
     if name == "baseline":
         return NicConfig.baseline()
+    if name == "hash":
+        return NicConfig.with_backend("hash")
     if name == "alpu128":
         return NicConfig.with_alpu(total_cells=128, block_size=block_size)
     if name == "alpu256":
         return NicConfig.with_alpu(total_cells=256, block_size=block_size)
-    raise ValueError(f"unknown preset {name!r}; expected one of {PRESETS}")
+    raise ValueError(
+        f"unknown preset {name!r}; expected one of {PRESETS + ('hash',)}"
+    )
 
 
 @dataclasses.dataclass
@@ -62,6 +72,8 @@ class PrepostedRow:
     latency_ns: float
     #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
     metrics: Optional[Dict[str, object]] = None
+    #: per-stage latency attribution (sweeps with ``lifecycle=True`` only)
+    attribution: Optional[Dict[str, object]] = None
 
 
 @dataclasses.dataclass
@@ -74,6 +86,8 @@ class UnexpectedRow:
     latency_ns: float
     #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
     metrics: Optional[Dict[str, object]] = None
+    #: per-stage latency attribution (sweeps with ``lifecycle=True`` only)
+    attribution: Optional[Dict[str, object]] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -118,6 +132,10 @@ class SweepSpec:
     axes: Tuple[Tuple[str, Tuple], ...]
     fixed: Tuple[Tuple[str, object], ...] = ()
     telemetry: bool = False
+    #: record per-message lifecycles and attach the folded stage-budget
+    #: report (:func:`repro.analysis.attribution.attribute_run`) to each
+    #: row's ``attribution`` field
+    lifecycle: bool = False
     block_size: int = 16
 
     def __post_init__(self) -> None:
@@ -138,6 +156,7 @@ class SweepSpec:
         iterations: int = 12,
         warmup: int = 3,
         telemetry: bool = False,
+        lifecycle: bool = False,
     ) -> "SweepSpec":
         """The Figure 5 grid: preset x queue length x traverse fraction."""
         return SweepSpec(
@@ -153,6 +172,7 @@ class SweepSpec:
                 ("warmup", warmup),
             ),
             telemetry=telemetry,
+            lifecycle=lifecycle,
         )
 
     @staticmethod
@@ -164,6 +184,7 @@ class SweepSpec:
         iterations: int = 12,
         warmup: int = 3,
         telemetry: bool = False,
+        lifecycle: bool = False,
     ) -> "SweepSpec":
         """The Figure 6 grid: preset x queue length."""
         return SweepSpec(
@@ -176,6 +197,7 @@ class SweepSpec:
                 ("warmup", warmup),
             ),
             telemetry=telemetry,
+            lifecycle=lifecycle,
         )
 
     # --------------------------------------------------------------- points
@@ -197,7 +219,8 @@ class SweepSpec:
 
 
 #: bump when row semantics change, so stale cache files never resurface
-CACHE_VERSION = 1
+#: (2: rows gained the ``attribution`` field)
+CACHE_VERSION = 2
 
 
 class SweepCache:
@@ -233,6 +256,7 @@ class SweepCache:
             "preset": preset,
             "block_size": spec.block_size,
             "telemetry": spec.telemetry,
+            "lifecycle": spec.lifecycle,
             "params": {name: params[name] for name in sorted(params)},
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -278,15 +302,25 @@ def run_point(
     bench = BENCHMARKS[spec.benchmark]
     if nic is None:
         nic = nic_preset(preset, block_size=spec.block_size)
-    bundle = Telemetry(tracing=False) if spec.telemetry else None
+    bundle = (
+        Telemetry(tracing=False, lifecycle=spec.lifecycle)
+        if (spec.telemetry or spec.lifecycle)
+        else None
+    )
     result = bench.runner(
         nic, bench.params_cls(**params), telemetry=bundle
     )
+    attribution = None
+    if spec.lifecycle:
+        attribution = attribute_run(bundle.lifecycles())
     fields = {name: params[name] for name in bench.row_fields}
     return bench.row_cls(
         preset=preset,
         latency_ns=result.median_ns,
-        metrics=result.metrics,
+        # a lifecycle-only bundle still snapshots metrics; keep rows
+        # comparable by attaching them only when telemetry was asked for
+        metrics=result.metrics if spec.telemetry else None,
+        attribution=attribution,
         **fields,
     )
 

@@ -119,9 +119,17 @@ def run_unexpected(
 
         for iteration in range(total_iters):
             send_stamps[iteration] = yield now()
-            yield from mpi.send(
+            ping = yield from mpi.send(
                 dest=1, tag=_PING_BASE + iteration, size=params.message_size
             )
+            if mpi.lifecycle.enabled:
+                mpi.lifecycle.label_request(
+                    mpi.rank,
+                    ping.req_id,
+                    "ping",
+                    iteration=iteration,
+                    timed=iteration >= params.warmup,
+                )
             yield from mpi.wait(pongs[iteration])
         yield from mpi.recv(source=1, tag=_DONE_TAG, size=0)
         yield from mpi.finalize()

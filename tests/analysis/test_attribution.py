@@ -1,0 +1,201 @@
+"""Latency attribution: budgets sum exactly, and the paper's story holds.
+
+The acceptance criteria of the attribution layer:
+
+* per-message stage budgets sum to the reported end-to-end latency for
+  **every** message (the telescoping identity);
+* aggregated over a Figure-5 sweep, the search stage grows with queue
+  depth for software backends but stays flat for the ALPU;
+* attribution-carrying sweeps are bit-identical between the serial and
+  process-pool execution paths;
+* the ``python -m repro.analysis.attribution`` CLI works end to end.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.attribution import (
+    AttributionError,
+    aggregate,
+    attribute_run,
+    budget_rows,
+    crossover_queue_length,
+    dominant_stage,
+    end_to_end_ps,
+    format_report,
+    select,
+    stage_budget,
+    stage_series,
+)
+from repro.obs import Telemetry
+from repro.obs.lifecycle import LifecycleRecorder
+from repro.workloads.preposted import PrepostedParams, run_preposted
+from repro.workloads.runner import nic_preset
+from repro.workloads.sweep import SweepSpec, run_sweep
+
+FAST = dict(iterations=4, warmup=1)
+
+
+def ping_lifecycles(preset: str, queue_length: int, **overrides):
+    bundle = Telemetry(tracing=False, lifecycle=True)
+    params = dict(queue_length=queue_length, traverse_fraction=1.0, **FAST)
+    params.update(overrides)
+    result = run_preposted(
+        nic_preset(preset), PrepostedParams(**params), telemetry=bundle
+    )
+    picked = select(bundle.lifecycles(), label="ping", timed_only=True)
+    return result, picked
+
+
+class TestTelescoping:
+    @pytest.mark.parametrize("preset", ["baseline", "hash", "alpu128"])
+    def test_budgets_sum_to_reported_latency_for_every_message(self, preset):
+        result, pings = ping_lifecycles(preset, queue_length=20)
+        assert len(pings) == FAST["iterations"]
+        pings.sort(key=lambda lc: lc.meta["iteration"])
+        for lifecycle, latency_ns in zip(pings, result.latencies_ns):
+            budget = stage_budget(lifecycle)
+            assert sum(budget.values()) == end_to_end_ps(lifecycle)
+            assert sum(budget.values()) / 1000 == latency_ns
+
+    def test_incomplete_lifecycle_rejected(self):
+        recorder = LifecycleRecorder()
+        recorder.begin("send", 0, 1, 0)
+        with pytest.raises(AttributionError):
+            stage_budget(recorder.lifecycles[0])
+
+    def test_aggregate_shares_sum_to_one(self):
+        _, pings = ping_lifecycles("baseline", queue_length=10)
+        report = aggregate(pings)
+        assert report["count"] == len(pings)
+        assert sum(s["share"] for s in report["stages"].values()) == pytest.approx(1.0)
+
+
+class TestPaperStory:
+    """Search residency grows with depth in software, flat on the ALPU."""
+
+    def test_software_search_grows_alpu_flat(self):
+        depths = (8, 48)
+        software, alpu = {}, {}
+        for depth in depths:
+            _, pings = ping_lifecycles("baseline", queue_length=depth)
+            software[depth] = aggregate(pings)
+            _, pings = ping_lifecycles("alpu128", queue_length=depth)
+            alpu[depth] = aggregate(pings)
+        sw_search = [
+            software[d]["stages"]["match_search"]["mean_ns"] for d in depths
+        ]
+        alpu_search = [
+            alpu[d]["stages"]["match_search"]["mean_ns"] for d in depths
+        ]
+        assert sw_search[1] > sw_search[0] * 2  # grows with queue depth
+        assert alpu_search[1] == alpu_search[0]  # O(1): bit-flat
+        # and at depth 48 the software search dominates everything else
+        assert software[48]["dominant_stage"] == "match_search"
+        assert alpu[48]["dominant_stage"] != "match_search"
+
+    def test_crossover_detection(self):
+        depths = (4, 16, 48)
+        sw_points, alpu_points = [], []
+        for depth in depths:
+            _, pings = ping_lifecycles("baseline", queue_length=depth)
+            sw_points.append((depth, aggregate(pings)))
+            _, pings = ping_lifecycles("alpu128", queue_length=depth)
+            alpu_points.append((depth, aggregate(pings)))
+        software = stage_series(sw_points, "match_search")
+        accelerated = stage_series(alpu_points, "match_search")
+        crossover = crossover_queue_length(software, accelerated)
+        assert crossover in depths  # the list loses somewhere on this axis
+        # sanity on the helper's None path: software never above itself
+        assert crossover_queue_length(software, software) is None
+
+    def test_dominant_stage_helper(self):
+        _, pings = ping_lifecycles("baseline", queue_length=48)
+        assert dominant_stage(pings) == "match_search"
+
+
+class TestSweepIntegration:
+    def test_rows_carry_attribution(self):
+        spec = SweepSpec.preposted(
+            ("baseline",), (8,), (1.0,), lifecycle=True, **FAST
+        )
+        (row,) = run_sweep(spec)
+        assert row.attribution is not None
+        agg = row.attribution["aggregate"]
+        assert agg["count"] == FAST["iterations"]
+        assert agg["end_to_end"]["p50_ns"] == row.latency_ns
+        for message in row.attribution["messages"]:
+            assert sum(message["stages_ps"].values()) == message["end_to_end_ps"]
+
+    def test_serial_and_parallel_attribution_bit_identical(self):
+        spec = SweepSpec.preposted(
+            ("baseline", "alpu128"), (6, 12), (1.0,), lifecycle=True, **FAST
+        )
+        serial = run_sweep(spec)
+        parallel = run_sweep(spec, workers=2)
+        assert serial == parallel
+
+    def test_lifecycle_off_leaves_rows_unchanged(self):
+        spec = SweepSpec.preposted(("baseline",), (8,), (1.0,), **FAST)
+        (row,) = run_sweep(spec)
+        assert row.attribution is None and row.metrics is None
+
+
+class TestRendering:
+    def test_format_report_contains_stages_and_total(self):
+        _, pings = ping_lifecycles("baseline", queue_length=10)
+        report = attribute_run(pings, label=None, timed_only=False)
+        text = format_report(report, title="t")
+        assert "match_search" in text and "total" in text and "share" in text
+
+    def test_budget_rows_shape(self):
+        _, pings = ping_lifecycles("baseline", queue_length=6)
+        rows = budget_rows(pings)
+        assert all(row["label"] == "ping" for row in rows)
+        assert all(
+            row["end_to_end_ns"] * 1000 == row["end_to_end_ps"] for row in rows
+        )
+
+
+class TestCli:
+    SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis.attribution", *args],
+            capture_output=True,
+            text=True,
+            cwd=self.SRC,
+        )
+
+    def test_cli_text_report(self):
+        proc = self.run_cli(
+            "--benchmark", "preposted", "--backend", "list",
+            "--queue-length", "12", "--iterations", "3", "--warmup", "1",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "match_search" in proc.stdout
+        assert "stages sum exactly" in proc.stdout
+
+    def test_cli_json_dump_and_reload(self, tmp_path):
+        dump = tmp_path / "lifecycles.json"
+        chrome = tmp_path / "trace.json"
+        proc = self.run_cli(
+            "--backend", "alpu", "--queue-length", "8",
+            "--iterations", "3", "--warmup", "1", "--json",
+            "--dump", str(dump), "--chrome", str(chrome),
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)
+        for message in report["messages"]:
+            assert sum(message["stages_ps"].values()) == message["end_to_end_ps"]
+        trace = json.loads(chrome.read_text())
+        assert trace["traceEvents"]
+        # the dump round-trips through --input
+        proc2 = self.run_cli("--input", str(dump))
+        assert proc2.returncode == 0, proc2.stderr
+        assert "end-to-end" in proc2.stdout

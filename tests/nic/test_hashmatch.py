@@ -11,7 +11,7 @@ import pytest
 from repro.core.match import ANY_SOURCE, MatchFormat, MatchRequest
 from repro.memory.layout import AddressAllocator
 from repro.nic.firmware import FirmwareConfig
-from repro.nic.hashmatch import HashMatchTable
+from repro.nic.backends.hashmatch import HashMatchTable
 from repro.nic.queues import EntryKind, NicQueue
 
 FMT = MatchFormat()

@@ -48,6 +48,9 @@ STAGE_ORDER: Tuple[str, ...] = (
     "rndv_cts",
     "rndv_data_dma",
     "wire",
+    "wire_drop",
+    "retransmit",
+    "backend_degraded",
     "rx_queue",
     "nic_rx",
     "match_search",

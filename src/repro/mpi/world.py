@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 from repro.mpi.api import MpiProcess
 from repro.mpi.communicator import Communicator, world as make_world_comm
 from repro.network.fabric import Fabric, FabricConfig
+from repro.network.faults import FaultConfig, FaultModel
 from repro.obs.probe import SamplingProbe
 from repro.obs.tracer import NULL_TRACER
 from repro.nic.host_interface import HOST_NIC_LATENCY_PS
@@ -46,6 +47,8 @@ class WorldConfig:
     host_cost: HostCostModel = dataclasses.field(default_factory=HostCostModel)
     #: per-rank NIC overrides (rank -> NicConfig); others use ``nic``
     nic_overrides: Optional[Dict[int, NicConfig]] = None
+    #: seeded fault injection on the fabric (None = the perfect wire)
+    faults: Optional[FaultConfig] = None
 
     @property
     def num_nodes(self) -> int:
@@ -123,7 +126,12 @@ class MpiWorld:
         else:
             self.engine = Engine()
         num_nodes = config.num_nodes
-        self.fabric = Fabric(self.engine, num_nodes, config.fabric)
+        self.fault_model: Optional[FaultModel] = (
+            FaultModel(config.faults) if config.faults is not None else None
+        )
+        self.fabric = Fabric(
+            self.engine, num_nodes, config.fabric, faults=self.fault_model
+        )
         self.comm_world: Communicator = make_world_comm(config.num_ranks)
         self.nics: List[Nic] = []
         self.hosts: List[Host] = []

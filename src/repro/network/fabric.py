@@ -10,8 +10,9 @@ context arrive in send order" semantics build on.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.network.faults import FaultModel, Verdict
 from repro.network.packet import Packet
 from repro.proc.params import NETWORK_WIRE_LATENCY_PS
 from repro.sim.component import Component
@@ -38,12 +39,16 @@ class Fabric(Component):
         num_nodes: int,
         config: FabricConfig = FabricConfig(),
         name: str = "fabric",
+        faults: Optional[FaultModel] = None,
     ) -> None:
         super().__init__(engine, name)
         if num_nodes <= 0:
             raise ValueError(f"need at least one node, got {num_nodes}")
         self.config = config
         self.num_nodes = num_nodes
+        #: optional fault oracle; when None (or idle) injection is the
+        #: historical single-send path, bit-for-bit
+        self.faults = faults
         #: one receive FIFO per node; the NIC's Rx side drains it
         self.rx_fifos: List[Fifo] = [
             Fifo(name=f"{name}.rx{i}") for i in range(num_nodes)
@@ -80,6 +85,10 @@ class Fabric(Component):
         registry = engine.metrics
         self._m_packets = registry.counter(f"{name}/packets")
         self._m_bytes = registry.counter(f"{name}/bytes")
+        self._m_dropped = registry.counter(f"{name}/faults_dropped")
+        self._m_duplicated = registry.counter(f"{name}/faults_duplicated")
+        self._m_delayed = registry.counter(f"{name}/faults_delayed")
+        self._m_corrupted = registry.counter(f"{name}/faults_corrupted")
         if registry.enabled:
             for src in range(num_nodes):
                 for dst in range(num_nodes):
@@ -102,7 +111,47 @@ class Fabric(Component):
         seq = self._seq.get(key, 0)
         self._seq[key] = seq + 1
         stamped = dataclasses.replace(packet, seq=seq)
-        self._links[packet.src][packet.dst].send(stamped, stamped.wire_bytes)
+        verdict = Verdict.DELIVER if self.faults is None else self.faults.judge(stamped)
+        link = self._links[packet.src][packet.dst]
+        if verdict is Verdict.DROP:
+            # swallowed by the wire: no link traffic, no delivery.  The
+            # sender's reliability layer (if any) recovers via timeout.
+            self._m_dropped.inc()
+            lifecycle = self.engine.lifecycle
+            if lifecycle.enabled:
+                lifecycle.mark_uid(
+                    stamped.send_id,
+                    "wire_drop",
+                    detail={"kind": stamped.kind.name, "seq": stamped.seq},
+                )
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "network",
+                    f"{self.name}.fault_drop",
+                    {"kind": stamped.kind.name, "src": stamped.src, "dst": stamped.dst},
+                )
+            return stamped
+        if verdict is Verdict.CORRUPT:
+            # flip match-header bits but leave the checksum stale so the
+            # receiver's verification catches it and NACKs
+            stamped = dataclasses.replace(
+                stamped, match_bits=self.faults.corrupt_bits(stamped.match_bits)
+            )
+            self._m_corrupted.inc()
+        if verdict is Verdict.DELAY:
+            # hold the packet back long enough for later traffic on the
+            # same pair to overtake it: a genuine reorder at the receiver
+            self._m_delayed.inc()
+            delay_ps = self.faults.config.reorder_delay_ps
+            self.engine.schedule(
+                delay_ps, lambda p=stamped: link.send(p, p.wire_bytes)
+            )
+        else:
+            link.send(stamped, stamped.wire_bytes)
+            if verdict is Verdict.DUPLICATE:
+                self._m_duplicated.inc()
+                link.send(stamped, stamped.wire_bytes)
         lifecycle = self.engine.lifecycle
         if lifecycle.enabled:
             lifecycle.mark_uid(

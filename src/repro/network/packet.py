@@ -28,6 +28,11 @@ class PacketKind(enum.Enum):
     RNDV_CTS = "rndv_cts"
     #: rendezvous payload
     RNDV_DATA = "rndv_data"
+    #: reliability-layer acknowledgement (``rel_seq`` names the acked packet)
+    ACK = "ack"
+    #: reliability-layer negative ack: receiver saw a corrupt packet and
+    #: asks the sender to retransmit ``rel_seq`` immediately
+    NACK = "nack"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,9 +52,37 @@ class Packet:
     recv_id: int = 0
     #: per-(src, dst) monotone sequence number; lets tests assert ordering
     seq: int = 0
+    #: reliability-layer sequence number (per (src, dst), stamped by the
+    #: NIC's reliability layer; -1 when the layer is off)
+    rel_seq: int = -1
+    #: header checksum (see :func:`header_checksum`; 0 when the layer is off)
+    checksum: int = 0
 
     @property
     def wire_bytes(self) -> int:
         """Bytes serialized on the wire."""
         carries_payload = self.kind in (PacketKind.EAGER, PacketKind.RNDV_DATA)
         return HEADER_BYTES + (self.payload_bytes if carries_payload else 0)
+
+
+def header_checksum(packet: Packet) -> int:
+    """FNV-1a over the header fields the receiver acts on.
+
+    Deliberately excludes the fabric's ``seq`` stamp (re-assigned on every
+    injection, so a retransmitted copy would never verify) and the
+    ``checksum`` field itself.
+    """
+    digest = 0xCBF29CE484222325
+    for word in (
+        int.from_bytes(packet.kind.value.encode(), "little"),
+        packet.src,
+        packet.dst,
+        packet.match_bits,
+        packet.payload_bytes,
+        packet.send_id,
+        packet.recv_id,
+        packet.rel_seq & 0xFFFFFFFF,
+    ):
+        digest ^= word
+        digest = (digest * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return digest

@@ -18,6 +18,7 @@ Responses appear in the result FIFO in protocol order.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional, Tuple
 
 from repro.core.alpu import Alpu, AlpuConfig
@@ -32,6 +33,28 @@ from repro.sim.process import Process, delay, wait_on
 from repro.sim.signal import Signal
 
 
+@dataclasses.dataclass(frozen=True)
+class AlpuFaultConfig:
+    """Injectable device failure for recovery testing.
+
+    ``mode="stall"`` freezes the device pipeline at ``at_ps``: headers and
+    commands keep accumulating in the FIFOs but the result FIFO stops
+    producing -- the stuck-device scenario the driver's stall budget and
+    the firmware's backend degradation are built to survive.  The default
+    ``mode="none"`` schedules nothing and changes nothing.
+    """
+
+    mode: str = "none"
+    #: simulated time at which the fault trips
+    at_ps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("none", "stall"):
+            raise ValueError(f"unknown ALPU fault mode {self.mode!r}")
+        if self.at_ps < 0:
+            raise ValueError(f"at_ps must be >= 0, got {self.at_ps}")
+
+
 class AlpuDevice(Component):
     """Event-driven ALPU with bus-visible FIFOs."""
 
@@ -42,6 +65,7 @@ class AlpuDevice(Component):
         config: AlpuConfig,
         timing: AlpuTimingModel = AlpuTimingModel(),
         bus_latency_ps: int = NIC_BUS_LATENCY_PS,
+        fault: AlpuFaultConfig = AlpuFaultConfig(),
     ) -> None:
         super().__init__(engine, name)
         self.alpu = Alpu(config, metrics=engine.metrics, name=name)
@@ -57,7 +81,24 @@ class AlpuDevice(Component):
         #: toggles it through :meth:`bus_write_delivery_enable`.
         self.hw_delivery_enabled = True
         self._kick = Signal(f"{name}.kick")
+        #: True once an injected fault froze the pipeline
+        self.stalled = False
+        #: a signal nobody ever pulses: the stalled pipeline parks on it
+        self._stall_hold = Signal(f"{name}.stall_hold")
+        self.fault = fault
+        if fault.mode == "stall":
+            engine.schedule(fault.at_ps, self._trip_stall)
         self._proc = Process(engine, self._run(), name=f"{name}.pipeline")
+
+    def _trip_stall(self) -> None:
+        """The injected fault fires: freeze the pipeline from now on."""
+        self.stalled = True
+        if self.engine.tracer.enabled:
+            self.engine.tracer.instant("alpu", f"{self.name}.stall")
+        # wake the pipeline so an idle device parks on the stall hold
+        # instead of the kick (purely cosmetic; any later kick would park
+        # it just the same)
+        self._kick.pulse()
 
     # ----------------------------------------------------- hardware inputs
     def hw_push_header(self, request: MatchRequest) -> None:
@@ -102,6 +143,11 @@ class AlpuDevice(Component):
         """The control loop: commands preempt headers between matches."""
         tracer = self.engine.tracer
         while True:
+            if self.stalled:
+                # stuck device: FIFOs fill, results never come.  Park on a
+                # signal that is never pulsed.
+                yield wait_on(self._stall_hold)
+                continue
             if not self.command_fifo.empty:
                 command = self.command_fifo.pop()
                 if tracer.enabled:

@@ -41,8 +41,17 @@ from repro.nic.alpu_device import AlpuDevice
 from repro.nic.queues import NicQueue, QueueEntry
 from repro.proc.costmodel import NicCostModel
 from repro.proc.processor import Processor
+from repro.sim.engine import SimulationError
 from repro.sim.process import delay, wait_on
 from repro.sim.units import us
+
+
+class AlpuStallError(SimulationError):
+    """The ALPU result FIFO stayed empty past the driver's stall budget.
+
+    Raised instead of silently re-arming the poll timeout forever; the
+    firmware catches it to degrade onto a software backend.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,6 +62,11 @@ class DriverConfig:
     use_threshold: int = 1
     #: cap on entries moved per insert batch (None = as many as fit)
     max_batch: Optional[int] = None
+    #: how long one blocking result read waits before its timeout expires
+    result_timeout_ps: int = us(100)
+    #: consecutive timeout expiries tolerated on one blocking read before
+    #: the device is declared stalled (:class:`AlpuStallError`)
+    stall_budget: int = 50
 
 
 class AlpuQueueDriver:
@@ -82,6 +96,11 @@ class AlpuQueueDriver:
         self.batches = 0
         self.entries_inserted = 0
         self.aborted_batches = 0
+        #: total result-read timeout expiries (healthy devices: 0)
+        self.result_timeouts = 0
+        self._m_result_timeouts = device.engine.metrics.counter(
+            f"{device.name}/result_timeouts"
+        )
         # with a threshold above 1, the driver starts disengaged: header
         # replication stays off so short queues pay zero ALPU overhead
         # (Section IV-C's delivery disable)
@@ -111,13 +130,42 @@ class AlpuQueueDriver:
 
         Used by the insert batch's acknowledge drain, which *fills* the
         buffer and must not consume it.
+
+        A healthy device answers well inside one poll timeout.  Each
+        expiry is counted (telemetry + trace instant); after
+        ``stall_budget`` *consecutive* expiries the device is declared
+        stuck and :class:`AlpuStallError` is raised rather than silently
+        re-arming the wait forever.
         """
+        expiries = 0
         while True:
             cost, response = self.device.bus_read_result()
             yield delay(cost)
             if response is not None:
                 return response
-            yield wait_on(self.device.result_fifo.not_empty, timeout_ps=us(100))
+            arrived = yield wait_on(
+                self.device.result_fifo.not_empty,
+                timeout_ps=self.config.result_timeout_ps,
+            )
+            if arrived:
+                expiries = 0
+                continue
+            expiries += 1
+            self.result_timeouts += 1
+            self._m_result_timeouts.inc()
+            engine = self.device.engine
+            if engine.tracer.enabled:
+                engine.tracer.instant(
+                    "alpu",
+                    f"{self.device.name}.result_timeout",
+                    {"consecutive": expiries},
+                )
+            if expiries >= self.config.stall_budget:
+                raise AlpuStallError(
+                    f"{self.device.name}: result FIFO empty through "
+                    f"{expiries} consecutive {self.config.result_timeout_ps} ps "
+                    "poll timeouts -- device stalled"
+                )
 
     def take_matched_entry(self, response: MatchSuccess) -> QueueEntry:
         """Resolve a MATCH SUCCESS tag to the queue entry and retire it."""

@@ -27,6 +27,7 @@ from typing import Dict, Tuple
 from repro.core.match import MatchFormat, MatchRequest
 from repro.network.packet import Packet, PacketKind
 from repro.nic.backends import backend_spec, create_backend
+from repro.nic.driver import AlpuStallError
 from repro.nic.host_interface import Completion, PostRecv, PostSend
 from repro.nic.queues import (
     ENTRY_BYTES,
@@ -60,7 +61,10 @@ class FirmwareConfig:
         backend_spec(self.matching)  # raises ValueError when unknown
         if self.use_alpu and self.matching not in ("list", "alpu"):
             raise ValueError(
-                f"{self.matching} matching is a software-only alternative"
+                f"matching={self.matching!r} conflicts with use_alpu=True: "
+                "the legacy flag forces the 'alpu' backend and would "
+                "silently override the requested software engine -- drop "
+                "use_alpu or set matching='alpu'"
             )
 
     @property
@@ -123,12 +127,52 @@ class NicFirmware:
         #: the pluggable matching engine this firmware dispatches to
         self.backend = create_backend(self.cfg.backend_name)
         self.backend.attach(self)
+        #: True once a stalled ALPU forced the fall-back to software
+        self.degraded = False
+        self._m_backend_degraded = registry.counter(f"{prefix}/backend_degraded")
 
     def record_traversal(self, visited: int) -> None:
         """Backends report per-search traversal work through this hook."""
         self.entries_traversed += visited
         self._m_entries_traversed.inc(visited)
         self._h_traversal.record(visited)
+
+    # -------------------------------------------------- graceful degradation
+    def _degrade(self, err: AlpuStallError, uid: int = 0) -> None:
+        """A stalled ALPU took down the hardware backend: fall back to
+        the software list engine, mid-run.
+
+        Switching is instantaneous in simulated time (the recovery path
+        is a handful of register writes and pointer updates next to the
+        100 us-scale stall that triggered it).  The processor's
+        authoritative queue copies make this safe: the ALPU only ever
+        held redundant mirrors, so resetting each queue's mirrored-prefix
+        pointer to zero re-exposes every entry to the software search.
+        """
+        if self.degraded:  # the fall-back engine cannot stall again
+            raise err
+        self.degraded = True
+        nic = self.nic
+        # stop hardware header replication (and the aligned flag records)
+        nic.alpu_offline = True
+        for device in nic.alpu_devices:
+            device.hw_delivery_enabled = False
+        nic.posted_pushed_flags.clear()
+        nic.unexpected_pushed_flags.clear()
+        # every entry is software-searchable again
+        self.posted_recv_q.alpu_count = 0
+        self.unexpected_q.alpu_count = 0
+        self.backend = create_backend("list")
+        self.backend.attach(self)
+        self._m_backend_degraded.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "nic", f"{nic.name}.backend_degraded", {"error": str(err)}
+            )
+        if self.lifecycle.enabled and uid:
+            self.lifecycle.mark_uid(
+                uid, "backend_degraded", detail={"error": str(err)}
+            )
 
     # ------------------------------------------------------------ main loop
     def run(self):
@@ -139,7 +183,11 @@ class NicFirmware:
             progress |= yield from self._check_network()
             progress |= yield from self._check_host()
             progress |= yield from self._advance_active()
-            progress |= yield from self.backend.update()
+            try:
+                progress |= yield from self.backend.update()
+            except AlpuStallError as err:
+                self._degrade(err)
+                progress |= yield from self.backend.update()
             if not progress:
                 yield wait_on(self.nic.kick, timeout_ps=us(10))
 
@@ -177,7 +225,11 @@ class NicFirmware:
                     "depth": len(self.posted_recv_q),
                 },
             )
-        entry = yield from self.backend.match_arrival(request)
+        try:
+            entry = yield from self.backend.match_arrival(request)
+        except AlpuStallError as err:
+            self._degrade(err, uid=packet.send_id)
+            entry = yield from self.backend.match_arrival(request)
         if rec.enabled:
             rec.annotate_uid(
                 packet.send_id,
@@ -370,7 +422,11 @@ class NicFirmware:
                     "depth": len(self.unexpected_q),
                 },
             )
-        unexpected = yield from self.backend.consume_unexpected(request)
+        try:
+            unexpected = yield from self.backend.consume_unexpected(request)
+        except AlpuStallError as err:
+            self._degrade(err)
+            unexpected = yield from self.backend.consume_unexpected(request)
         if rec.enabled:
             search_facts = dict(
                 visited=self.entries_traversed - visited_before,

@@ -28,10 +28,11 @@ from repro.core.pipeline import AlpuTimingModel
 from repro.memory.layout import AddressAllocator
 from repro.network.fabric import Fabric
 from repro.network.packet import Packet, PacketKind
-from repro.nic.alpu_device import AlpuDevice
+from repro.nic.alpu_device import AlpuDevice, AlpuFaultConfig
 from repro.nic.dma import DmaConfig, DmaEngine
 from repro.nic.driver import AlpuQueueDriver, DriverConfig
 from repro.nic.firmware import FirmwareConfig, NicFirmware
+from repro.nic.reliability import ReliabilityConfig, ReliabilityLayer
 from repro.nic.host_interface import HOST_NIC_LATENCY_PS, PostRecv
 from repro.nic.queues import NicQueue
 from repro.proc.costmodel import NicCostModel
@@ -59,6 +60,15 @@ class NicConfig:
     unexpected_driver: DriverConfig = dataclasses.field(default_factory=DriverConfig)
     dma: DmaConfig = dataclasses.field(default_factory=DmaConfig)
     cost: NicCostModel = dataclasses.field(default_factory=NicCostModel)
+    #: link-level retransmission (off by default: the zero-fault
+    #: benchmarks never route packets through the reliability layer)
+    reliability: ReliabilityConfig = dataclasses.field(
+        default_factory=ReliabilityConfig
+    )
+    #: injectable ALPU device failure (recovery testing; default inert)
+    alpu_fault: AlpuFaultConfig = dataclasses.field(
+        default_factory=AlpuFaultConfig
+    )
     #: MPI processes sharing this NIC (the paper's footnote 1: "extending
     #: it to support a limited number of processes is straightforward").
     #: With more than one, the NIC folds each local process id into the
@@ -135,9 +145,22 @@ class Nic(Component):
                     engine.metrics.gauge(f"{queue.name}/depth")
                 )
 
-        # network side
-        self.rx_fifo = fabric.rx_fifo(node_id)
-        fabric.subscribe_rx(node_id, self._on_packet_arrival)
+        # network side.  Without the reliability layer the NIC polls the
+        # fabric's rx FIFO directly (the historical, bit-identical path);
+        # with it, wire arrivals are filtered (checksum / duplicate /
+        # reorder) and only accepted in-order packets reach the firmware.
+        self.reliability: Optional[ReliabilityLayer] = None
+        if config.reliability.enabled:
+            self._wire_fifo = fabric.rx_fifo(node_id)
+            self.rx_fifo = Fifo(name=f"{self.name}.rxaccepted")
+            self.reliability = ReliabilityLayer(self, config.reliability)
+            fabric.subscribe_rx(node_id, self._on_wire_packet)
+        else:
+            self.rx_fifo = fabric.rx_fifo(node_id)
+            fabric.subscribe_rx(node_id, self._on_packet_arrival)
+        #: set by the firmware when a stalled ALPU forces software-only
+        #: matching; gates hardware header replication
+        self.alpu_offline = False
 
         # DMA engines (Fig. 1: logically separate Tx and Rx)
         self.tx_dma = DmaEngine(engine, f"{self.name}.txdma", config.dma)
@@ -171,13 +194,18 @@ class Nic(Component):
                 kind=CellKind.UNEXPECTED
             )
             self.posted_device = AlpuDevice(
-                engine, f"{self.name}.alpu.posted", posted_cfg, config.alpu_timing
+                engine,
+                f"{self.name}.alpu.posted",
+                posted_cfg,
+                config.alpu_timing,
+                fault=config.alpu_fault,
             )
             self.unexpected_device = AlpuDevice(
                 engine,
                 f"{self.name}.alpu.unexpected",
                 unexpected_cfg,
                 config.alpu_timing,
+                fault=config.alpu_fault,
             )
             self.posted_driver = AlpuQueueDriver(
                 self.posted_device,
@@ -214,6 +242,22 @@ class Nic(Component):
         )
 
     # -------------------------------------------------------- hardware hooks
+    def _on_wire_packet(self, packet: Packet) -> None:
+        """Wire delivery with the reliability layer in front.
+
+        Drains the fabric's rx FIFO (one packet per callback, so the pop
+        is exactly the delivered packet) and lets the layer decide what
+        the firmware gets to see.
+        """
+        popped = self._wire_fifo.try_pop()
+        assert popped is packet, "wire FIFO / delivery callback misaligned"
+        self.reliability.on_wire_arrival(packet)
+
+    def accept_packet(self, packet: Packet) -> None:
+        """Reliability layer verdict: this packet reaches the firmware."""
+        self.rx_fifo.push(packet)
+        self._on_packet_arrival(packet)
+
     def _on_packet_arrival(self, packet: Packet) -> None:
         """Hardware actions at packet delivery (no processor involvement)."""
         lifecycle = self.engine.lifecycle
@@ -223,9 +267,14 @@ class Nic(Component):
                 "rx_queue",
                 detail={"node": self.node_id, "kind": packet.kind.name},
             )
-        if self.posted_device is not None and packet.kind in (
-            PacketKind.EAGER,
-            PacketKind.RNDV_RTS,
+        if (
+            self.posted_device is not None
+            and not self.alpu_offline
+            and packet.kind
+            in (
+                PacketKind.EAGER,
+                PacketKind.RNDV_RTS,
+            )
         ):
             pushed = self.posted_device.hw_delivery_enabled
             if pushed:
@@ -237,7 +286,11 @@ class Nic(Component):
 
     def deliver_host_command(self, command) -> None:
         """Called by the host->NIC link when a command lands."""
-        if self.unexpected_device is not None and isinstance(command, PostRecv):
+        if (
+            self.unexpected_device is not None
+            and not self.alpu_offline
+            and isinstance(command, PostRecv)
+        ):
             pushed = self.unexpected_device.hw_delivery_enabled
             if pushed:
                 fmt = self.config.firmware.match_format
@@ -253,8 +306,11 @@ class Nic(Component):
         self.kick.pulse()
 
     def inject(self, packet: Packet) -> None:
-        """Hand a packet to the Tx FIFO / wire."""
-        self.fabric.inject(packet)
+        """Hand a packet to the Tx FIFO / wire (tracked when reliable)."""
+        if self.reliability is not None:
+            self.reliability.send(packet)
+        else:
+            self.fabric.inject(packet)
 
     # ------------------------------------------------------- multi-process
     #: context-field bits below the folded local process id

@@ -1,0 +1,213 @@
+"""Link-level retransmission: the NIC's answer to a lossy fabric.
+
+Modelled on the hardware retransmission units of APEnet+-class NICs: a
+thin layer between the firmware's packet injection and the fabric that
+
+* stamps every outgoing data packet with a per-destination sequence
+  number (``rel_seq``) and a header checksum;
+* keeps a per-destination retransmit record until the receiver's ACK
+  arrives, re-injecting on a timeout with exponential backoff and a
+  bounded retry budget (:class:`RetryExhaustedError` when exhausted);
+* on the receive side verifies the checksum (NACKing corrupt packets),
+  ACKs every valid data packet, drops duplicates, and holds out-of-order
+  packets in a reorder buffer so the NIC firmware still observes the
+  per-(src, dst) in-order delivery MPI's ordering semantics build on.
+
+ACK/NACK generation and verification are hardware-assisted (link-level,
+like the CRC engines they model): they cost no NIC-processor cycles,
+only wire traffic.  The layer is entirely inert unless
+:attr:`ReliabilityConfig.enabled` is set -- a disabled NIC never routes a
+packet through it, keeping the zero-fault benchmarks bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.network.packet import Packet, PacketKind, header_checksum
+from repro.sim.engine import SimulationError
+from repro.sim.event import EventHandle
+from repro.sim.units import us
+
+
+class RetryExhaustedError(SimulationError):
+    """A packet went unacknowledged through the whole retry budget."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityConfig:
+    """Retransmission tunables (per NIC)."""
+
+    enabled: bool = False
+    #: time to wait for an ACK before the first retransmission; one RTT
+    #: is ~400 ns wire + serialization, so 2 us rides out fabric jitter
+    ack_timeout_ps: int = us(2)
+    #: timeout multiplier per successive retry of one packet
+    backoff: float = 2.0
+    #: retransmissions allowed per packet before giving up
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout_ps <= 0:
+            raise ValueError(f"ack_timeout_ps must be > 0, got {self.ack_timeout_ps}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+class _TxRecord:
+    """One unacknowledged packet awaiting its ACK."""
+
+    __slots__ = ("packet", "retries", "timeout_ps", "timer")
+
+    def __init__(self, packet: Packet, timeout_ps: int) -> None:
+        self.packet = packet
+        self.retries = 0
+        self.timeout_ps = timeout_ps
+        self.timer: Optional[EventHandle] = None
+
+
+class ReliabilityLayer:
+    """Per-NIC sequence/ACK/retransmit state machine."""
+
+    def __init__(self, nic, config: ReliabilityConfig) -> None:
+        # `nic` is a repro.nic.nic.Nic; typed loosely to avoid the cycle
+        self.nic = nic
+        self.engine = nic.engine
+        self.config = config
+        #: next outgoing rel_seq, per destination node
+        self._next_tx_seq: Dict[int, int] = {}
+        #: next in-order rel_seq expected, per source node
+        self._expected_rx: Dict[int, int] = {}
+        #: in-flight unacknowledged packets, keyed (dst, rel_seq)
+        self._unacked: Dict[Tuple[int, int], _TxRecord] = {}
+        #: early (out-of-order) arrivals, keyed (src, rel_seq)
+        self._reorder: Dict[Tuple[int, int], Packet] = {}
+        registry = self.engine.metrics
+        prefix = f"{nic.name}.rel"
+        self._m_retransmits = registry.counter(f"{prefix}/retransmits")
+        self._m_duplicates = registry.counter(f"{prefix}/duplicates_dropped")
+        self._m_corrupt = registry.counter(f"{prefix}/corrupt_dropped")
+        self._m_acks = registry.counter(f"{prefix}/acks_sent")
+        self._m_nacks = registry.counter(f"{prefix}/nacks_sent")
+        self._m_buffered = registry.counter(f"{prefix}/reordered_held")
+        self.retransmits = 0
+
+    # --------------------------------------------------------------- tx side
+    def send(self, packet: Packet) -> None:
+        """Stamp, track, and inject one firmware data packet."""
+        seq = self._next_tx_seq.get(packet.dst, 0)
+        self._next_tx_seq[packet.dst] = seq + 1
+        stamped = dataclasses.replace(packet, rel_seq=seq)
+        stamped = dataclasses.replace(stamped, checksum=header_checksum(stamped))
+        record = _TxRecord(stamped, self.config.ack_timeout_ps)
+        self._unacked[(stamped.dst, seq)] = record
+        self.nic.fabric.inject(stamped)
+        self._arm_timer(record)
+
+    def _arm_timer(self, record: _TxRecord) -> None:
+        key = (record.packet.dst, record.packet.rel_seq)
+        record.timer = self.engine.schedule(
+            record.timeout_ps, lambda: self._on_timeout(key)
+        )
+
+    def _on_timeout(self, key: Tuple[int, int]) -> None:
+        record = self._unacked.get(key)
+        if record is None:  # ACKed between scheduling and firing
+            return
+        self._retransmit(record, reason="timeout")
+
+    def _retransmit(self, record: _TxRecord, reason: str) -> None:
+        packet = record.packet
+        if record.timer is not None:
+            record.timer.cancel()
+        if record.retries >= self.config.max_retries:
+            raise RetryExhaustedError(
+                f"{self.nic.name}: {packet.kind.name} rel_seq={packet.rel_seq} "
+                f"to node {packet.dst} unacknowledged after "
+                f"{record.retries} retries"
+            )
+        record.retries += 1
+        record.timeout_ps = round(record.timeout_ps * self.config.backoff)
+        self.retransmits += 1
+        self._m_retransmits.inc()
+        lifecycle = self.engine.lifecycle
+        if lifecycle.enabled:
+            lifecycle.mark_uid(
+                packet.send_id,
+                "retransmit",
+                detail={
+                    "rel_seq": packet.rel_seq,
+                    "attempt": record.retries,
+                    "reason": reason,
+                },
+            )
+        if self.engine.tracer.enabled:
+            self.engine.tracer.instant(
+                "network",
+                f"{self.nic.name}.retransmit",
+                {"dst": packet.dst, "rel_seq": packet.rel_seq, "reason": reason},
+            )
+        self.nic.fabric.inject(packet)
+        self._arm_timer(record)
+
+    # --------------------------------------------------------------- rx side
+    def on_wire_arrival(self, packet: Packet) -> None:
+        """Everything that lands on the wire passes through here."""
+        if header_checksum(packet) != packet.checksum:
+            # corrupt header: drop it and (for data) ask for a resend now
+            # rather than waiting out the sender's timeout.  A corrupt
+            # ACK/NACK is just dropped -- the retransmit timer covers it.
+            self._m_corrupt.inc()
+            if packet.kind not in (PacketKind.ACK, PacketKind.NACK):
+                self._send_control(PacketKind.NACK, packet)
+                self._m_nacks.inc()
+            return
+        if packet.kind is PacketKind.ACK:
+            record = self._unacked.pop((packet.src, packet.rel_seq), None)
+            if record is not None and record.timer is not None:
+                record.timer.cancel()
+            return
+        if packet.kind is PacketKind.NACK:
+            record = self._unacked.get((packet.src, packet.rel_seq))
+            if record is not None:
+                self._retransmit(record, reason="nack")
+            return
+        # valid data packet: always ACK (a duplicate means our first ACK
+        # was lost, so the re-ACK is the recovery)
+        self._send_control(PacketKind.ACK, packet)
+        self._m_acks.inc()
+        expected = self._expected_rx.get(packet.src, 0)
+        if packet.rel_seq < expected:
+            self._m_duplicates.inc()
+            return
+        if packet.rel_seq > expected:
+            # early: hold until the gap fills so the firmware still sees
+            # per-pair in-order delivery
+            self._reorder[(packet.src, packet.rel_seq)] = packet
+            self._m_buffered.inc()
+            return
+        self._deliver(packet)
+        expected += 1
+        while (held := self._reorder.pop((packet.src, expected), None)) is not None:
+            self._deliver(held)
+            expected += 1
+        self._expected_rx[packet.src] = expected
+
+    def _deliver(self, packet: Packet) -> None:
+        self.nic.accept_packet(packet)
+
+    def _send_control(self, kind: PacketKind, about: Packet) -> None:
+        """Inject a link-level ACK/NACK (no processor involvement)."""
+        control = Packet(
+            kind=kind,
+            src=self.nic.node_id,
+            dst=about.src,
+            match_bits=0,
+            payload_bytes=0,
+            rel_seq=about.rel_seq,
+        )
+        control = dataclasses.replace(control, checksum=header_checksum(control))
+        self.nic.fabric.inject(control)

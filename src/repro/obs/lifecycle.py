@@ -175,6 +175,11 @@ class LifecycleRecorder:
         time_ps: Optional[int],
         detail: Optional[Dict[str, object]],
     ) -> None:
+        if lifecycle.marks and lifecycle.marks[-1].stage == TERMINAL_STAGE:
+            # the message's journey has ended; late wire echoes (e.g. a
+            # retransmission fired because the *ACK* was lost after the
+            # payload completed) must not un-complete the record
+            return
         lifecycle.marks.append(
             LifecycleMark(
                 time_ps=self._now() if time_ps is None else time_ps,

@@ -64,6 +64,9 @@ class Engine:
         self._now: int = 0
         self._seq: int = 0
         self._fired: int = 0
+        #: live (scheduled, not fired, not cancelled) events -- kept exact
+        #: by schedule/step/cancel so :attr:`pending` is O(1)
+        self._live: int = 0
         self._stopped = False
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -95,12 +98,19 @@ class Engine:
     def pending(self) -> int:
         """Number of live (non-cancelled) events still in the heap.
 
-        Cancellation is lazy -- tombstones stay queued until popped -- so
-        this walks the heap to report the true backlog (what the
-        queue-depth probes and tests care about).  O(pending); use
-        :attr:`raw_pending` for the O(1) heap size.
+        O(1): a counter incremented on ``schedule`` and decremented when
+        an event fires or its handle is cancelled -- never a heap walk,
+        so periodic probes sampling the backlog stay linear in events
+        even when the heap carries many lazy-cancellation tombstones.
+        (``tests/sim/test_engine.py`` asserts the counter against an
+        explicit heap walk.)  Use :attr:`raw_pending` for the heap size
+        including tombstones.
         """
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """An :class:`EventHandle` cancelled a live event (O(1) upkeep)."""
+        self._live -= 1
 
     @property
     def raw_pending(self) -> int:
@@ -127,7 +137,8 @@ class Engine:
         event = Event(self._now + delay_ps, priority, self._seq, action)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_at(
         self,
@@ -158,6 +169,8 @@ class Engine:
                 raise SimulationError("event heap produced a past event")
             self._now = event.time
             self._fired += 1
+            event.fired = True
+            self._live -= 1
             profiler = self.profiler
             if profiler is None:
                 event.action()

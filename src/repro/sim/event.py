@@ -26,19 +26,26 @@ class Event:
     seq: int
     action: Callable[[], Any] = dataclasses.field(compare=False)
     cancelled: bool = dataclasses.field(default=False, compare=False)
+    #: set by the engine the moment the action runs; guards the live-event
+    #: counter against a handle cancelled after its event already fired
+    fired: bool = dataclasses.field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Engine.schedule`; supports cancellation.
 
     Cancellation is lazy: the event stays in the heap but is skipped when
-    popped.  This keeps cancellation O(1).
+    popped.  This keeps cancellation O(1).  The handle notifies its owner
+    (the engine) on a *successful* cancellation so the engine's live-event
+    counter stays exact without ever walking the heap.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_owner")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, owner=None) -> None:
         self._event = event
+        #: anything with a ``_note_cancelled()`` method (the engine)
+        self._owner = owner
 
     @property
     def time(self) -> int:
@@ -52,4 +59,9 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()

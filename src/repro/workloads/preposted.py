@@ -36,6 +36,7 @@ import statistics
 from typing import Dict, List, Optional
 
 from repro.mpi.world import MpiWorld, WorldConfig
+from repro.network.faults import FaultConfig
 from repro.nic.nic import NicConfig
 from repro.sim.process import now
 from repro.sim.units import ps_to_ns
@@ -86,13 +87,20 @@ class PrepostedResult:
 
 
 def run_preposted(
-    nic: NicConfig, params: PrepostedParams, *, telemetry=None
+    nic: NicConfig,
+    params: PrepostedParams,
+    *,
+    telemetry=None,
+    faults: Optional[FaultConfig] = None,
 ) -> PrepostedResult:
     """Run one (queue length, fraction, size) point on a 2-rank system.
 
     ``telemetry``: optional :class:`repro.obs.Telemetry`; the result's
     ``metrics`` field then carries the run's snapshot.  Telemetry never
     perturbs the measured latencies (pinned by regression test).
+
+    ``faults``: optional seeded fabric fault injection; pair it with a
+    reliability-enabled ``nic`` so dropped packets are retransmitted.
     """
 
     total_iters = params.warmup + params.iterations
@@ -171,7 +179,9 @@ def run_preposted(
         yield from mpi.finalize()
         return None
 
-    world = MpiWorld(WorldConfig(num_ranks=2, nic=nic), telemetry=telemetry)
+    world = MpiWorld(
+        WorldConfig(num_ranks=2, nic=nic, faults=faults), telemetry=telemetry
+    )
     results = world.run({0: sender_program, 1: receiver})
     samples, traversed = results[1]
     return PrepostedResult(

@@ -32,7 +32,9 @@ import os
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.attribution import attribute_run
+from repro.network.faults import FaultConfig
 from repro.nic.nic import NicConfig
+from repro.nic.reliability import ReliabilityConfig
 from repro.obs.telemetry import Telemetry
 from repro.workloads.preposted import PrepostedParams, run_preposted
 from repro.workloads.unexpected import UnexpectedParams, run_unexpected
@@ -137,6 +139,9 @@ class SweepSpec:
     #: row's ``attribution`` field
     lifecycle: bool = False
     block_size: int = 16
+    #: seeded fabric fault injection; setting it also enables the NIC
+    #: reliability layer on every point (retransmission under loss)
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.benchmark not in BENCHMARKS:
@@ -157,6 +162,7 @@ class SweepSpec:
         warmup: int = 3,
         telemetry: bool = False,
         lifecycle: bool = False,
+        faults: Optional[FaultConfig] = None,
     ) -> "SweepSpec":
         """The Figure 5 grid: preset x queue length x traverse fraction."""
         return SweepSpec(
@@ -173,6 +179,7 @@ class SweepSpec:
             ),
             telemetry=telemetry,
             lifecycle=lifecycle,
+            faults=faults,
         )
 
     @staticmethod
@@ -185,6 +192,7 @@ class SweepSpec:
         warmup: int = 3,
         telemetry: bool = False,
         lifecycle: bool = False,
+        faults: Optional[FaultConfig] = None,
     ) -> "SweepSpec":
         """The Figure 6 grid: preset x queue length."""
         return SweepSpec(
@@ -198,6 +206,7 @@ class SweepSpec:
             ),
             telemetry=telemetry,
             lifecycle=lifecycle,
+            faults=faults,
         )
 
     # --------------------------------------------------------------- points
@@ -219,8 +228,8 @@ class SweepSpec:
 
 
 #: bump when row semantics change, so stale cache files never resurface
-#: (2: rows gained the ``attribution`` field)
-CACHE_VERSION = 2
+#: (2: rows gained the ``attribution`` field; 3: keys gained ``faults``)
+CACHE_VERSION = 3
 
 
 class SweepCache:
@@ -257,6 +266,9 @@ class SweepCache:
             "block_size": spec.block_size,
             "telemetry": spec.telemetry,
             "lifecycle": spec.lifecycle,
+            "faults": (
+                dataclasses.asdict(spec.faults) if spec.faults is not None else None
+            ),
             "params": {name: params[name] for name in sorted(params)},
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -302,13 +314,18 @@ def run_point(
     bench = BENCHMARKS[spec.benchmark]
     if nic is None:
         nic = nic_preset(preset, block_size=spec.block_size)
+    if spec.faults is not None and not nic.reliability.enabled:
+        # lossy wire: turn on the link-level retransmission layer (done
+        # here, not on the shared preset NIC, so serial/parallel and
+        # fault/no-fault sweeps never leak state into each other)
+        nic = dataclasses.replace(nic, reliability=ReliabilityConfig(enabled=True))
     bundle = (
         Telemetry(tracing=False, lifecycle=spec.lifecycle)
         if (spec.telemetry or spec.lifecycle)
         else None
     )
     result = bench.runner(
-        nic, bench.params_cls(**params), telemetry=bundle
+        nic, bench.params_cls(**params), telemetry=bundle, faults=spec.faults
     )
     attribution = None
     if spec.lifecycle:

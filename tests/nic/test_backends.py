@@ -47,7 +47,7 @@ def test_firmware_config_backcompat():
     assert FirmwareConfig(matching="hash").backend_name == "hash"
     assert FirmwareConfig(use_alpu=True).backend_name == "alpu"
     assert FirmwareConfig(use_alpu=True, matching="list").backend_name == "alpu"
-    with pytest.raises(ValueError, match="software-only alternative"):
+    with pytest.raises(ValueError, match="conflicts with use_alpu=True"):
         FirmwareConfig(use_alpu=True, matching="hash")
 
 

@@ -213,3 +213,63 @@ def test_software_removal_assertion_guards_prefix_consistency():
     prefix_entry = queue.entries[0]
     with pytest.raises(AssertionError):
         driver.forget_software_removal(prefix_entry)
+
+
+# --------------------------------------------------------- stall detection
+def stalled_build(stall_budget=3, timeout_ps=1_000_000):
+    from repro.nic.alpu_device import AlpuFaultConfig
+
+    engine = Engine()
+    device = AlpuDevice(
+        engine,
+        "dev",
+        AlpuConfig(total_cells=16, block_size=4),
+        fault=AlpuFaultConfig(mode="stall", at_ps=0),
+    )
+    queue = NicQueue("q", AddressAllocator())
+    proc = Processor(engine, "nicproc", 500e6)
+    driver = AlpuQueueDriver(
+        device,
+        queue,
+        proc,
+        NicCostModel(),
+        DriverConfig(result_timeout_ps=timeout_ps, stall_budget=stall_budget),
+    )
+    return engine, device, queue, driver
+
+
+def test_stalled_device_raises_after_the_stall_budget():
+    from repro.nic.driver import AlpuStallError
+
+    engine, device, queue, driver = stalled_build(stall_budget=3)
+
+    def blocked_read():
+        response = yield from driver._read_result_raw()
+        return response
+
+    with pytest.raises(AlpuStallError, match="device stalled"):
+        run_gen(engine, blocked_read())
+    # every expiry was counted, and they were consecutive
+    assert driver.result_timeouts == 3
+
+
+def test_healthy_device_never_counts_a_timeout():
+    engine, device, queue, driver = build()
+    fill(queue, 3)
+    run_gen(engine, driver.update())
+    device.hw_push_header(MatchRequest(bits=1))
+    engine.run()
+
+    def consume():
+        response = yield from driver.read_result()
+        return response
+
+    assert isinstance(run_gen(engine, consume()), MatchSuccess)
+    assert driver.result_timeouts == 0
+
+
+def test_stall_error_is_a_simulation_error():
+    from repro.nic.driver import AlpuStallError
+    from repro.sim.engine import SimulationError
+
+    assert issubclass(AlpuStallError, SimulationError)

@@ -184,3 +184,51 @@ def test_engine_defaults_are_disabled_singletons():
     assert not a.tracer.enabled and not a.metrics.enabled
     assert a.tracer is b.tracer  # shared no-op objects, no per-engine cost
     assert a.metrics is b.metrics
+
+
+def _live_walk(engine):
+    """The pre-optimisation O(n) definition of ``pending``: walk the heap."""
+    return sum(1 for event in engine._heap if not event.cancelled)
+
+
+def test_pending_counter_matches_the_heap_walk():
+    """O(1) ``pending`` must agree with the explicit walk at every step of
+    a schedule/cancel/fire workout."""
+    engine = Engine()
+    handles = [engine.schedule(10 * i, lambda: None) for i in range(8)]
+    assert engine.pending == _live_walk(engine) == 8
+    handles[3].cancel()
+    handles[6].cancel()
+    assert engine.pending == _live_walk(engine) == 6
+    while engine.step():
+        # fired events flip ``fired`` rather than leaving the heap eagerly,
+        # so compare against the walk after every single event
+        assert engine.pending == _live_walk(engine)
+    assert engine.pending == _live_walk(engine) == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_the_counter():
+    engine = Engine()
+    fired = engine.schedule(1, lambda: None)
+    engine.schedule(50, lambda: None)
+    engine.run(until=10)
+    assert engine.pending == 1
+    # the handle's event already ran; cancelling it now must be a no-op
+    fired.cancel()
+    assert engine.pending == 1
+    assert not fired.cancelled
+    # double-cancel of a live event is also counted exactly once
+    live = engine.schedule(100, lambda: None)
+    live.cancel()
+    live.cancel()
+    assert engine.pending == 1
+
+
+def test_pending_counter_survives_cancelled_head_in_run():
+    engine = Engine()
+    head = engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    head.cancel()
+    engine.run()
+    assert engine.pending == 0
+    assert engine.events_fired == 1

@@ -13,6 +13,11 @@ stage-residency budgets that sum exactly to each message's end-to-end
 latency, aggregates percentile breakdowns, and finds the dominant stage
 and software/ALPU search crossover.  It is also a CLI
 (``python -m repro.analysis.attribution``).
+
+:mod:`repro.analysis.report` folds one run's whole telemetry artifact
+(metrics, timeline, health findings, lifecycles, self-profile) into
+text/JSON/HTML renderings -- the unified run report
+(``python -m repro.analysis.report``).
 """
 
 from repro.analysis.curves import (
@@ -23,15 +28,21 @@ from repro.analysis.curves import (
 )
 from repro.analysis.tables import format_rows, format_curve
 from repro.analysis.telemetry import (
+    healthy_rows,
     histogram_stats,
     load_report,
     mean_sampled_depth,
     metric_across_rows,
     metric_value,
+    row_findings,
+    row_verdict,
+    rows_with_finding,
+    unhealthy_rows,
 )
 
-# attribution's names resolve lazily so `python -m repro.analysis.
-# attribution` does not re-import the module runpy is about to execute
+# attribution's and report's names resolve lazily so `python -m
+# repro.analysis.<mod>` does not re-import the module runpy is about to
+# execute
 _ATTRIBUTION_NAMES = frozenset(
     {
         "aggregate",
@@ -46,12 +57,20 @@ _ATTRIBUTION_NAMES = frozenset(
     }
 )
 
+_REPORT_NAMES = frozenset(
+    {"fold", "render_html", "render_json", "render_text", "sparkline"}
+)
+
 
 def __getattr__(name):
     if name in _ATTRIBUTION_NAMES:
         from repro.analysis import attribution
 
         return getattr(attribution, name)
+    if name in _REPORT_NAMES:
+        from repro.analysis import report
+
+        return getattr(report, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -76,4 +95,14 @@ __all__ = [
     "mean_sampled_depth",
     "metric_across_rows",
     "metric_value",
+    "healthy_rows",
+    "unhealthy_rows",
+    "row_findings",
+    "row_verdict",
+    "rows_with_finding",
+    "fold",
+    "render_html",
+    "render_json",
+    "render_text",
+    "sparkline",
 ]

@@ -1,0 +1,510 @@
+"""The unified run report: one artifact, three renderings.
+
+:meth:`repro.obs.telemetry.Telemetry.report` captures everything one run
+observed -- metadata, metrics, the windowed timeline, health findings,
+raw lifecycles, simulator self-profile -- as a single versioned JSON
+document.  This module folds that artifact into human-facing renderings:
+
+* **text** -- a terminal report: verdict and findings up top, per-series
+  timeline sparklines, latency attribution (when lifecycles rode along),
+  simulator hotspots;
+* **json** -- the artifact enriched with the folded attribution, for
+  downstream tooling;
+* **html** -- a self-contained page (inline CSS/SVG, no external assets)
+  suitable for a CI artifact.
+
+Run as a CLI::
+
+    python -m repro.analysis.report --input run.json --html run.html
+
+renders a saved artifact; without ``--input`` it runs one benchmark
+point with every collector on (like :mod:`repro.analysis.attribution`)
+and reports on that.  Attribution folding happens here, at render time:
+:mod:`repro.obs` stays import-free of :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html as html_mod
+import json
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.attribution import (
+    AttributionError,
+    attribute_run,
+    format_report,
+)
+from repro.obs.health import SEVERITIES, verdict_of
+from repro.obs.lifecycle import MessageLifecycle
+from repro.obs.telemetry import REPORT_VERSION
+from repro.obs.timeline import Timeline
+
+#: sparkline glyphs, lowest to highest
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+#: sparkline width (windows are resampled down to this many buckets)
+_SPARK_WIDTH = 48
+
+
+class ReportError(ValueError):
+    """A run-report artifact was malformed or unrenderable."""
+
+
+# ------------------------------------------------------------ load / fold
+def load_report(path: str) -> Dict[str, object]:
+    """Load one run-report artifact, upgrading v1 shapes in place.
+
+    v1 reports (``{"meta", "metrics"}``) predate the version field; they
+    upgrade to the v2 shape with the newer sections empty so every
+    renderer handles both.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "metrics" not in document:
+        raise ReportError(f"{path} is not a run-report artifact")
+    version = document.get("version", 1)
+    if version > REPORT_VERSION:
+        raise ReportError(
+            f"{path} is a v{version} report; this tool understands "
+            f"up to v{REPORT_VERSION}"
+        )
+    document.setdefault("version", version)
+    document.setdefault("meta", {})
+    document.setdefault("timeline", None)
+    document.setdefault("health", {"verdict": "healthy", "findings": []})
+    document.setdefault("lifecycles", None)
+    document.setdefault("profile", None)
+    return document
+
+
+def fold(document: Dict[str, object]) -> Dict[str, object]:
+    """The artifact plus the render-time attribution fold.
+
+    Adds an ``attribution`` key: the :func:`~repro.analysis.attribution.
+    attribute_run` report when complete lifecycles rode along, else
+    ``None``.  Leaves the input untouched.
+    """
+    enriched = dict(document)
+    enriched["attribution"] = None
+    lifecycles_obj = document.get("lifecycles")
+    if lifecycles_obj:
+        lifecycles = [MessageLifecycle.from_obj(o) for o in lifecycles_obj]
+        try:
+            enriched["attribution"] = attribute_run(lifecycles)
+        except AttributionError:
+            pass  # no complete messages: the section just stays empty
+    return enriched
+
+
+# -------------------------------------------------------------- sparklines
+def _resample(values: Sequence[float], width: int) -> List[float]:
+    """Bucket-maximum resample down to at most ``width`` values."""
+    if len(values) <= width:
+        return list(values)
+    out = []
+    for bucket in range(width):
+        lo = bucket * len(values) // width
+        hi = max(lo + 1, (bucket + 1) * len(values) // width)
+        out.append(max(values[lo:hi]))
+    return out
+
+
+def sparkline(values: Sequence[float], width: int = _SPARK_WIDTH) -> str:
+    """A unicode block-glyph sparkline of a value sequence."""
+    if not values:
+        return ""
+    values = _resample(values, width)
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK_GLYPHS[0] * len(values)
+    scale = (len(_SPARK_GLYPHS) - 1) / (high - low)
+    return "".join(
+        _SPARK_GLYPHS[round((value - low) * scale)] for value in values
+    )
+
+
+def _series_rows(document: Dict[str, object]) -> List[Dict[str, object]]:
+    """Per-series summary rows off the artifact's timeline section."""
+    timeline_obj = document.get("timeline")
+    if not timeline_obj:
+        return []
+    timeline = Timeline.from_obj(timeline_obj)
+    rows = []
+    for name in timeline.names():
+        series = timeline.get(name)
+        stat = series.default_stat
+        values = [value for _, value in series.points(stat)]
+        if not values:
+            continue
+        rows.append(
+            {
+                "name": name,
+                "mode": series.mode,
+                "stat": stat,
+                "windows": len(series),
+                "window_us": series.window_ps / 1e6,
+                "span_us": series.span_ps() / 1e6,
+                "min": min(values),
+                "max": max(values),
+                "last": values[-1],
+                "values": values,
+            }
+        )
+    return rows
+
+
+# ------------------------------------------------------------ text render
+def render_text(document: Dict[str, object]) -> str:
+    """The terminal rendering of one (folded or raw) artifact."""
+    document = (
+        document if "attribution" in document else fold(document)
+    )
+    meta = document.get("meta") or {}
+    health = document.get("health") or {"verdict": "healthy", "findings": []}
+    findings = health.get("findings", [])
+    lines: List[str] = []
+    title = "run report"
+    if meta:
+        title += " -- " + ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    lines.append(title)
+    lines.append("=" * min(len(title), 78))
+    verdict = health.get("verdict", verdict_of(findings))
+    lines.append(f"health: {verdict} ({len(findings)} finding(s))")
+    for finding in findings:
+        lines.append(
+            f"  [{finding['severity']:>8}] {finding['code']}: "
+            f"{finding['message']}"
+        )
+    rows = _series_rows(document)
+    if rows:
+        lines.append("")
+        lines.append(f"timeline ({len(rows)} series)")
+        name_width = max(len(row["name"]) for row in rows)
+        for row in rows:
+            lines.append(
+                f"  {row['name']:<{name_width}} "
+                f"{sparkline(row['values']):<{_SPARK_WIDTH}} "
+                f"{row['stat']}: min {row['min']:g} max {row['max']:g} "
+                f"last {row['last']:g} "
+                f"({row['windows']} x {row['window_us']:g} us)"
+            )
+    attribution = document.get("attribution")
+    if attribution:
+        lines.append("")
+        lines.append(format_report(attribution, title="latency attribution"))
+    profile = document.get("profile")
+    if profile:
+        lines.append("")
+        lines.append(
+            f"simulator: {profile['events']} events in "
+            f"{profile['handler_seconds']:g} s handler time "
+            f"({profile['events_per_sec']:g} events/sec)"
+        )
+        for label, entry in profile.get("top_handlers", {}).items():
+            lines.append(
+                f"  {label:<40} {entry['events']:>8} events "
+                f"{entry['seconds']:>10.6f} s"
+            )
+    metrics = document.get("metrics") or {}
+    lines.append("")
+    lines.append(f"metrics snapshot: {len(metrics)} entries (see JSON)")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------ html render
+_SEVERITY_COLORS = {"info": "#2b6cb0", "warning": "#b7791f", "critical": "#c53030"}
+_VERDICT_COLORS = {"healthy": "#2f855a", **_SEVERITY_COLORS}
+
+_HTML_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto; max-width: 70em;
+       color: #1a202c; padding: 0 1em; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: .3em .6em; border-bottom: 1px solid #e2e8f0;
+         font-variant-numeric: tabular-nums; }
+th { background: #f7fafc; }
+.verdict { display: inline-block; padding: .1em .6em; border-radius: 1em;
+           color: #fff; font-weight: 600; }
+.mono { font-family: ui-monospace, monospace; font-size: .95em; }
+svg.spark { vertical-align: middle; }
+"""
+
+
+def _spark_svg(values: Sequence[float], width=160, height=28) -> str:
+    """An inline-SVG sparkline polyline (self-contained, no scripts)."""
+    values = _resample(values, _SPARK_WIDTH)
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    step = width / max(len(values) - 1, 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - 2 - (v - low) / span * (height - 4):.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}">'
+        f'<polyline fill="none" stroke="#3182ce" stroke-width="1.5" '
+        f'points="{points}"/></svg>'
+    )
+
+
+def render_html(document: Dict[str, object]) -> str:
+    """A self-contained HTML page for one (folded or raw) artifact."""
+    document = (
+        document if "attribution" in document else fold(document)
+    )
+    esc = html_mod.escape
+    meta = document.get("meta") or {}
+    health = document.get("health") or {"verdict": "healthy", "findings": []}
+    findings = health.get("findings", [])
+    verdict = health.get("verdict", verdict_of(findings))
+    color = _VERDICT_COLORS.get(verdict, "#4a5568")
+    parts: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>run report</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        "<h1>Run report "
+        f"<span class='verdict' style='background:{color}'>{esc(verdict)}"
+        "</span></h1>",
+    ]
+    if meta:
+        parts.append("<table><tbody>")
+        for key in sorted(meta):
+            parts.append(
+                f"<tr><th>{esc(str(key))}</th>"
+                f"<td class='mono'>{esc(str(meta[key]))}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+
+    parts.append(f"<h2>Health findings ({len(findings)})</h2>")
+    if findings:
+        parts.append(
+            "<table><thead><tr><th>severity</th><th>code</th><th>series</th>"
+            "<th>window</th><th>message</th></tr></thead><tbody>"
+        )
+        for finding in findings:
+            sev = finding["severity"]
+            sev_color = _SEVERITY_COLORS.get(sev, "#4a5568")
+            window = (
+                f"{finding['start_ps'] / 1e6:g}-{finding['end_ps'] / 1e6:g} us"
+                if finding.get("end_ps")
+                else "end of run"
+            )
+            parts.append(
+                f"<tr><td style='color:{sev_color};font-weight:600'>"
+                f"{esc(sev)}</td>"
+                f"<td class='mono'>{esc(finding['code'])}</td>"
+                f"<td class='mono'>{esc(finding['series'])}</td>"
+                f"<td>{esc(window)}</td>"
+                f"<td>{esc(finding['message'])}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+    else:
+        parts.append("<p>No watchdog fired.</p>")
+
+    rows = _series_rows(document)
+    if rows:
+        parts.append(f"<h2>Timeline ({len(rows)} series)</h2>")
+        parts.append(
+            "<table><thead><tr><th>series</th><th>trajectory</th>"
+            "<th>stat</th><th>min</th><th>max</th><th>last</th>"
+            "<th>windows</th></tr></thead><tbody>"
+        )
+        for row in rows:
+            parts.append(
+                f"<tr><td class='mono'>{esc(row['name'])}</td>"
+                f"<td>{_spark_svg(row['values'])}</td>"
+                f"<td>{esc(row['stat'])}</td>"
+                f"<td>{row['min']:g}</td><td>{row['max']:g}</td>"
+                f"<td>{row['last']:g}</td>"
+                f"<td>{row['windows']} &times; {row['window_us']:g} us</td>"
+                "</tr>"
+            )
+        parts.append("</tbody></table>")
+
+    attribution = document.get("attribution")
+    if attribution:
+        agg = attribution["aggregate"]
+        parts.append("<h2>Latency attribution</h2>")
+        parts.append(
+            f"<p>{agg['count']} messages, end-to-end mean "
+            f"{agg['end_to_end']['mean_ns']:.1f} ns / p90 "
+            f"{agg['end_to_end']['p90_ns']:.1f} ns; dominant stage "
+            f"<span class='mono'>{esc(agg['dominant_stage'])}</span>.</p>"
+        )
+        parts.append(
+            "<table><thead><tr><th>stage</th><th>mean ns</th><th>p50 ns</th>"
+            "<th>p90 ns</th><th>max ns</th><th>share</th></tr></thead><tbody>"
+        )
+        for stage, entry in agg["stages"].items():
+            parts.append(
+                f"<tr><td class='mono'>{esc(stage)}</td>"
+                f"<td>{entry['mean_ns']:.1f}</td><td>{entry['p50_ns']:.1f}</td>"
+                f"<td>{entry['p90_ns']:.1f}</td><td>{entry['max_ns']:.1f}</td>"
+                f"<td>{entry['share']:.1%}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+
+    profile = document.get("profile")
+    if profile:
+        parts.append("<h2>Simulator self-profile</h2>")
+        parts.append(
+            f"<p>{profile['events']} events in "
+            f"{profile['handler_seconds']:g} s of handler time "
+            f"({profile['events_per_sec']:g} events/sec).</p>"
+        )
+        top = profile.get("top_handlers", {})
+        if top:
+            parts.append(
+                "<table><thead><tr><th>handler</th><th>events</th>"
+                "<th>seconds</th></tr></thead><tbody>"
+            )
+            for label, entry in top.items():
+                parts.append(
+                    f"<tr><td class='mono'>{esc(label)}</td>"
+                    f"<td>{entry['events']}</td>"
+                    f"<td>{entry['seconds']:.6f}</td></tr>"
+                )
+            parts.append("</tbody></table>")
+
+    metrics = document.get("metrics") or {}
+    parts.append(
+        f"<h2>Metrics</h2><p>{len(metrics)} snapshot entries "
+        "(full values in the JSON artifact).</p>"
+    )
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def render_json(document: Dict[str, object]) -> str:
+    """The folded artifact as indented JSON."""
+    document = (
+        document if "attribution" in document else fold(document)
+    )
+    return json.dumps(document, indent=1, sort_keys=True)
+
+
+def write_artifacts(
+    document: Dict[str, object], directory, stem: str = "run_report"
+) -> List[str]:
+    """Write text/JSON/HTML renderings into ``directory``; returns paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    folded = fold(document) if "attribution" not in document else document
+    written = []
+    for suffix, renderer in (
+        (".txt", render_text),
+        (".json", render_json),
+        (".html", render_html),
+    ):
+        path = os.path.join(directory, stem + suffix)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(renderer(folded))
+            handle.write("\n")
+        written.append(path)
+    return written
+
+
+# --------------------------------------------------------------- the CLI
+def _run_benchmark(args) -> Dict[str, object]:
+    """One benchmark point with every collector on; returns the report."""
+    from repro.nic.nic import NicConfig
+    from repro.obs.telemetry import Telemetry
+    from repro.workloads.preposted import PrepostedParams, run_preposted
+    from repro.workloads.unexpected import UnexpectedParams, run_unexpected
+
+    if args.backend == "alpu":
+        nic = NicConfig.with_alpu(total_cells=args.alpu_cells)
+    elif args.backend == "list":
+        nic = NicConfig.baseline()
+    else:
+        nic = NicConfig.with_backend(args.backend)
+    telemetry = Telemetry(
+        tracing=False, lifecycle=True, timeline=True, health=True, profile=True
+    )
+    meta: Dict[str, object] = {
+        "benchmark": args.benchmark,
+        "backend": args.backend,
+        "queue_length": args.queue_length,
+        "iterations": args.iterations,
+    }
+    if args.benchmark == "preposted":
+        result = run_preposted(
+            nic,
+            PrepostedParams(
+                queue_length=args.queue_length,
+                iterations=args.iterations,
+                warmup=args.warmup,
+            ),
+            telemetry=telemetry,
+        )
+    else:
+        result = run_unexpected(
+            nic,
+            UnexpectedParams(
+                queue_length=args.queue_length,
+                iterations=args.iterations,
+                warmup=args.warmup,
+            ),
+            telemetry=telemetry,
+        )
+    meta["mean_latency_ns"] = round(result.mean_ns, 3)
+    return telemetry.report(**meta)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.report",
+        description="Render a unified run report (text/JSON/HTML)",
+    )
+    parser.add_argument(
+        "--input",
+        metavar="PATH",
+        help="a saved Telemetry.report() JSON artifact; omit to run one "
+        "benchmark point with all collectors on",
+    )
+    parser.add_argument(
+        "--benchmark",
+        choices=("preposted", "unexpected"),
+        default="preposted",
+    )
+    parser.add_argument("--backend", default="list")
+    parser.add_argument("--queue-length", type=int, default=50)
+    parser.add_argument("--iterations", type=int, default=8)
+    parser.add_argument("--warmup", type=int, default=2)
+    parser.add_argument(
+        "--alpu-cells", type=int, default=256, help="ALPU size for --backend alpu"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print JSON instead of text"
+    )
+    parser.add_argument(
+        "--html", metavar="PATH", help="also write the HTML rendering"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="also write the JSON artifact"
+    )
+    args = parser.parse_args(argv)
+
+    if args.input:
+        document = load_report(args.input)
+    else:
+        document = _run_benchmark(args)
+    folded = fold(document)
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html(folded))
+            handle.write("\n")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_json(folded))
+            handle.write("\n")
+    print(render_json(folded) if args.json else render_text(folded))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,12 @@ occupancy) per row.
 Snapshot value shapes (see :meth:`repro.obs.MetricsRegistry.snapshot`):
 counters flatten to a number; gauges to ``{"value", "high_water"}``;
 histograms to ``{"count", "sum", "min", "max", "mean", "buckets"}``.
+
+Dumps are versioned: v1 predates the ``version`` field and carries no
+health data, v2 rows also hold ``health`` (``{"verdict", "findings"}``)
+from the watchdog battery.  :func:`load_report` upgrades v1 in place so
+the health helpers (:func:`row_verdict`, :func:`healthy_rows`,
+:func:`rows_with_finding`) work on either vintage.
 """
 
 from __future__ import annotations
@@ -16,14 +22,63 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
+from repro.obs.health import has_finding
+
+#: the newest dump schema this loader understands
+MAX_DUMP_VERSION = 2
+
 
 def load_report(path: str) -> Dict[str, object]:
-    """Read a report written by :func:`repro.workloads.runner.dump_telemetry`."""
+    """Read a report written by :func:`repro.workloads.runner.dump_telemetry`.
+
+    Accepts v1 (no ``version`` key, no health) and v2 dumps; anything
+    newer is refused rather than misread.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
     if not isinstance(report, dict) or "rows" not in report:
         raise ValueError(f"{path} is not a telemetry report (no 'rows' key)")
+    version = report.setdefault("version", 1)
+    if version > MAX_DUMP_VERSION:
+        raise ValueError(
+            f"{path} is a v{version} telemetry dump; this loader "
+            f"understands up to v{MAX_DUMP_VERSION}"
+        )
     return report
+
+
+# ----------------------------------------------------------------- health
+def row_verdict(row: Dict[str, object]) -> str:
+    """The watchdog verdict of one row (``"healthy"`` when none rode)."""
+    health = row.get("health")
+    if not health:
+        return "healthy"
+    return health.get("verdict", "healthy")
+
+
+def row_findings(row: Dict[str, object]) -> List[Dict[str, object]]:
+    """The finding dicts of one row ([] when none rode)."""
+    health = row.get("health")
+    if not health:
+        return []
+    return list(health.get("findings", []))
+
+
+def healthy_rows(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rows whose watchdogs stayed silent."""
+    return [row for row in rows if row_verdict(row) == "healthy"]
+
+
+def unhealthy_rows(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rows with at least one finding, in row order."""
+    return [row for row in rows if row_verdict(row) != "healthy"]
+
+
+def rows_with_finding(
+    rows: List[Dict[str, object]], code: str
+) -> List[Dict[str, object]]:
+    """Rows carrying a finding with ``code`` (e.g. ``retransmit_storm``)."""
+    return [row for row in rows if has_finding(row_findings(row), code)]
 
 
 def metric_value(snapshot: Optional[Dict[str, object]], name: str):

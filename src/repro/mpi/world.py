@@ -22,6 +22,7 @@ from repro.mpi.api import MpiProcess
 from repro.mpi.communicator import Communicator, world as make_world_comm
 from repro.network.fabric import Fabric, FabricConfig
 from repro.network.faults import FaultConfig, FaultModel
+from repro.obs.health import RETRANSMIT_WINDOW_PS
 from repro.obs.probe import SamplingProbe
 from repro.obs.tracer import NULL_TRACER
 from repro.nic.host_interface import HOST_NIC_LATENCY_PS
@@ -157,39 +158,89 @@ class MpiWorld:
             self.probe.start()
 
     def _build_probe(self, telemetry) -> SamplingProbe:
-        """Periodic sampling of queue depths and ALPU occupancies."""
+        """Periodic sampling of queue depths, occupancies, reliability
+        state, fabric in-flight packets and engine throughput.
+
+        Every sampler feeds the metrics histograms (as before) and, when
+        the bundle carries a :class:`~repro.obs.timeline.Timeline`, a
+        windowed series under the matching metric-style name -- the
+        substrate the health watchdogs evaluate.
+        """
         registry = telemetry.metrics
         probe = SamplingProbe(
             self.engine,
             telemetry.probe_interval_ps,
             tracer=telemetry.tracer if telemetry.tracer is not None else NULL_TRACER,
+            timeline=getattr(telemetry, "timeline", None),
         )
+
+        def hist(name):
+            return registry.histogram(name) if registry is not None else None
+
         for nic in self.nics:
             for queue in (nic.posted_recv_q, nic.unexpected_q):
-                histogram = (
-                    registry.histogram(f"{queue.name}/depth_samples")
-                    if registry is not None
-                    else None
-                )
                 probe.add(
                     "nic",
                     f"{queue.name}.depth",
                     (lambda q=queue: len(q)),
-                    histogram,
+                    hist(f"{queue.name}/depth_samples"),
+                    series=f"{queue.name}/depth",
                 )
             # software-only backends assemble no ALPUs; the tuple is empty
             for device in nic.alpu_devices:
-                histogram = (
-                    registry.histogram(f"{device.name}/occupancy_samples")
-                    if registry is not None
-                    else None
-                )
                 probe.add(
                     "alpu",
                     f"{device.name}.occupancy",
                     (lambda d=device: d.alpu.occupancy),
-                    histogram,
+                    hist(f"{device.name}/occupancy_samples"),
+                    series=f"{device.name}/occupancy",
                 )
+            if nic.reliability is not None:
+                rel = nic.reliability
+                probe.add(
+                    "nic",
+                    f"{nic.name}.rel.unacked",
+                    (lambda r=rel: r.unacked_count),
+                    hist(f"{nic.name}.rel/unacked_samples"),
+                    series=f"{nic.name}.rel/unacked",
+                )
+                probe.add(
+                    "nic",
+                    f"{nic.name}.rel.reorder_held",
+                    (lambda r=rel: r.reorder_held),
+                    hist(f"{nic.name}.rel/reorder_held_samples"),
+                    series=f"{nic.name}.rel/reorder_held",
+                )
+                probe.add(
+                    "nic",
+                    f"{nic.name}.rel.retransmits",
+                    (lambda r=rel: r.retransmits),
+                    series=f"{nic.name}.rel/retransmits",
+                    mode="cumulative",
+                    # storm-width windows: see the watchdog's definition
+                    window_ps=RETRANSMIT_WINDOW_PS,
+                )
+            probe.add(
+                "nic",
+                f"{nic.name}.fw.completions",
+                (lambda n=nic: n.firmware.completions_sent),
+                series=f"{nic.name}.fw/completions",
+                mode="cumulative",
+            )
+        probe.add(
+            "network",
+            f"{self.fabric.name}.in_flight",
+            (lambda: self.fabric.in_flight),
+            hist(f"{self.fabric.name}/in_flight_samples"),
+            series=f"{self.fabric.name}/in_flight",
+        )
+        probe.add(
+            "engine",
+            "events",
+            (lambda: self.engine.events_fired),
+            series="engine/events",
+            mode="cumulative",
+        )
         return probe
 
     # ----------------------------------------------------------------- run

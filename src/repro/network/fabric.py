@@ -58,6 +58,7 @@ class Fabric(Component):
         self._rx_callbacks: List[List] = [[] for _ in range(num_nodes)]
 
         def _notify(dst: int, packet: Packet) -> None:
+            self.in_flight -= 1
             for callback in self._rx_callbacks[dst]:
                 callback(packet)
 
@@ -80,6 +81,10 @@ class Fabric(Component):
         ]
         self._seq: Dict[tuple, int] = {}
         self.packets_delivered = 0
+        #: packets committed to a wire but not yet delivered (duplicates
+        #: count twice, dropped packets never count) -- a plain counter
+        #: kept exact by :meth:`inject`/delivery, probed by the timeline
+        self.in_flight = 0
         # telemetry: totals as counters, per-link traffic/utilization as
         # snapshot-time collectors over the Link objects' own tallies
         registry = engine.metrics
@@ -144,13 +149,16 @@ class Fabric(Component):
             # same pair to overtake it: a genuine reorder at the receiver
             self._m_delayed.inc()
             delay_ps = self.faults.config.reorder_delay_ps
+            self.in_flight += 1
             self.engine.schedule(
                 delay_ps, lambda p=stamped: link.send(p, p.wire_bytes)
             )
         else:
+            self.in_flight += 1
             link.send(stamped, stamped.wire_bytes)
             if verdict is Verdict.DUPLICATE:
                 self._m_duplicated.inc()
+                self.in_flight += 1
                 link.send(stamped, stamped.wire_bytes)
         lifecycle = self.engine.lifecycle
         if lifecycle.enabled:

@@ -101,6 +101,10 @@ class NicFirmware:
         self.headers_unexpected = 0
         self.entries_traversed = 0
         self.loop_iterations = 0
+        #: host completions delivered (send + receive); the timeline's
+        #: progress series -- flat while the engine stays busy means a
+        #: livelocked protocol
+        self.completions_sent = 0
         # telemetry: the same tallies mirrored into the shared registry
         # (no-ops by default), a per-search traversal-length histogram,
         # and the tracer for search spans / queue events
@@ -306,6 +310,7 @@ class NicFirmware:
         if self.lifecycle.enabled:
             self.lifecycle.mark_uid(entry.uid, "completion")
         yield delay(self.proc.compute(self.cost.completion_cycles))
+        self.completions_sent += 1
         link = self.nic.completion_link(self.nic.lproc_of(entry.owner_rank))
         link.send(
             Completion(
@@ -604,5 +609,6 @@ class NicFirmware:
 
     def _complete_to_host(self, req_id: int, owner_rank: int = 0):
         yield delay(self.proc.compute(self.cost.completion_cycles))
+        self.completions_sent += 1
         link = self.nic.completion_link(self.nic.lproc_of(owner_rank))
         link.send(Completion(req_id=req_id))

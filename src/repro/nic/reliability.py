@@ -95,6 +95,17 @@ class ReliabilityLayer:
         self._m_buffered = registry.counter(f"{prefix}/reordered_held")
         self.retransmits = 0
 
+    # ------------------------------------------------------- probe surface
+    @property
+    def unacked_count(self) -> int:
+        """In-flight unacknowledged packets (the timeline probe reads it)."""
+        return len(self._unacked)
+
+    @property
+    def reorder_held(self) -> int:
+        """Out-of-order packets currently parked in the reorder buffer."""
+        return len(self._reorder)
+
     # --------------------------------------------------------------- tx side
     def send(self, packet: Packet) -> None:
         """Stamp, track, and inject one firmware data packet."""

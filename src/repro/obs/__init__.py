@@ -20,6 +20,12 @@ that makes those quantities visible:
 * :mod:`repro.obs.selfprof` -- wall-clock self-profiling of the
   simulator (events/sec, per-handler time) for the committed benchmark
   baseline;
+* :mod:`repro.obs.timeline` -- windowed timeseries over simulated time
+  with bounded memory (ring + downsampling): the *trajectory* of every
+  probed quantity, not just its end-of-run total;
+* :mod:`repro.obs.health` -- declarative watchdogs (threshold,
+  sustained-derivative, stall) over timelines and metrics, folding runs
+  into structured :class:`~repro.obs.health.HealthFinding` verdicts;
 * :mod:`repro.obs.telemetry` -- the per-run bundle workloads accept.
 
 Telemetry is opt-in and zero-perturbation: disabled (the default) it
@@ -32,6 +38,19 @@ imports *it*), so any layer may use it without cycles.
 """
 
 from repro.obs.chrome import chrome_trace_events, to_chrome, write_chrome_trace
+from repro.obs.health import (
+    DerivativeWatchdog,
+    HealthFinding,
+    HealthMonitor,
+    MetricWatchdog,
+    SEVERITIES,
+    StallWatchdog,
+    ThresholdWatchdog,
+    Watchdog,
+    default_watchdogs,
+    has_finding,
+    verdict_of,
+)
 from repro.obs.lifecycle import (
     LifecycleMark,
     LifecycleRecorder,
@@ -50,10 +69,25 @@ from repro.obs.metrics import (
 )
 from repro.obs.probe import DEFAULT_INTERVAL_PS, SamplingProbe
 from repro.obs.selfprof import SimProfiler
-from repro.obs.telemetry import Telemetry
+from repro.obs.telemetry import REPORT_VERSION, Telemetry
+from repro.obs.timeline import Series, Timeline
 from repro.obs.tracer import NullTracer, NULL_TRACER, Tracer, TraceRecord
 
 __all__ = [
+    "DerivativeWatchdog",
+    "HealthFinding",
+    "HealthMonitor",
+    "MetricWatchdog",
+    "SEVERITIES",
+    "StallWatchdog",
+    "ThresholdWatchdog",
+    "Watchdog",
+    "default_watchdogs",
+    "has_finding",
+    "verdict_of",
+    "Series",
+    "Timeline",
+    "REPORT_VERSION",
     "LifecycleMark",
     "LifecycleRecorder",
     "MessageLifecycle",

@@ -3,8 +3,9 @@
 Some quantities are states, not events: queue depths, ALPU occupancy.
 A :class:`SamplingProbe` turns them into timeseries by sampling callables
 on a fixed simulated-time period, feeding each sample into a log-scale
-histogram (for the metrics snapshot) and emitting a Chrome ``counter``
-trace record (for the timeline view).
+histogram (for the metrics snapshot), a :class:`~repro.obs.timeline.
+Timeline` series (for the windowed time-resolved view), and a Chrome
+``counter`` trace record (for the timeline trace view).
 
 Probe ticks are *pure observers*: the sampler callables read state, the
 tick schedules only its own successor, and no simulated component ever
@@ -12,19 +13,35 @@ waits on a probe -- so enabling a probe cannot perturb simulated
 latencies (the zero-perturbation guarantee the regression tests pin).
 
 The probe duck-types its ``engine`` (anything with ``schedule(delay_ps,
-action)``) to keep :mod:`repro.obs` dependency-free.
+action)``) to keep :mod:`repro.obs` dependency-free; tick ``k`` fires at
+exactly ``k * interval_ps``, so timeline observations use that product
+rather than reading an engine clock.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.obs.metrics import Histogram
+from repro.obs.timeline import Timeline
 from repro.obs.tracer import NULL_TRACER
 
 #: default sampling period: 1 us of simulated time (fine enough to catch
 #: per-iteration queue churn in the Section V-A benchmarks)
 DEFAULT_INTERVAL_PS = 1_000_000
+
+
+class _Sampler:
+    """One registered quantity and its sinks."""
+
+    __slots__ = ("category", "name", "fn", "histogram", "series")
+
+    def __init__(self, category, name, fn, histogram, series):
+        self.category = category
+        self.name = name
+        self.fn = fn
+        self.histogram = histogram
+        self.series = series
 
 
 class SamplingProbe:
@@ -35,16 +52,16 @@ class SamplingProbe:
         engine,
         interval_ps: int = DEFAULT_INTERVAL_PS,
         tracer=NULL_TRACER,
+        timeline: Optional[Timeline] = None,
     ) -> None:
         if interval_ps <= 0:
             raise ValueError(f"probe interval must be positive: {interval_ps}")
         self.engine = engine
         self.interval_ps = interval_ps
         self.tracer = tracer
+        self.timeline = timeline
         self.ticks = 0
-        self._samplers: List[
-            Tuple[str, str, Callable[[], float], Optional[Histogram]]
-        ] = []
+        self._samplers: List[_Sampler] = []
         self._started = False
 
     def add(
@@ -53,14 +70,28 @@ class SamplingProbe:
         name: str,
         fn: Callable[[], float],
         histogram: Optional[Histogram] = None,
+        *,
+        series: Optional[str] = None,
+        mode: str = "sample",
+        window_ps: Optional[int] = None,
     ) -> None:
         """Sample ``fn()`` each tick under ``category``/``name``.
 
         ``histogram`` (usually ``registry.histogram(f"{name}/...")``)
         accumulates the samples for the metrics snapshot; the tracer gets
-        a counter record per tick regardless.
+        a counter record per tick regardless.  ``series`` names a
+        timeline series (created now, in ``mode``, with an optional
+        ``window_ps`` width override) the samples also fold into --
+        ignored when the probe carries no timeline.
         """
-        self._samplers.append((category, name, fn, histogram))
+        timeline_series = None
+        if self.timeline is not None and series is not None:
+            timeline_series = self.timeline.series(
+                series, mode=mode, window_ps=window_ps
+            )
+        self._samplers.append(
+            _Sampler(category, name, fn, histogram, timeline_series)
+        )
 
     def start(self) -> None:
         """Schedule the first tick (idempotent)."""
@@ -71,10 +102,15 @@ class SamplingProbe:
 
     def _tick(self) -> None:
         self.ticks += 1
-        for category, name, fn, histogram in self._samplers:
-            value = fn()
-            if histogram is not None:
-                histogram.record(value)
+        now_ps = self.ticks * self.interval_ps
+        for sampler in self._samplers:
+            value = sampler.fn()
+            if sampler.histogram is not None:
+                sampler.histogram.record(value)
+            if sampler.series is not None:
+                sampler.series.observe(now_ps, value)
             if self.tracer.enabled:
-                self.tracer.counter(category, name, {"value": value})
+                self.tracer.counter(
+                    sampler.category, sampler.name, {"value": value}
+                )
         self.engine.schedule(self.interval_ps, self._tick)

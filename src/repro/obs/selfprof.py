@@ -32,10 +32,17 @@ def handler_label(action: Callable) -> str:
     Actions are typically bound methods or closures; the qualified name
     up to any ``<locals>`` segment names the scheduling site --
     ``Link.send.<locals>.<lambda>`` attributes to ``Link.send``.
+    ``functools.partial`` wrappers unwrap to the function they carry,
+    and callable objects without a ``__qualname__`` (instances defining
+    ``__call__``) attribute to their type's qualified name.
     """
+    while (wrapped := getattr(action, "func", None)) is not None and callable(
+        wrapped
+    ):
+        action = wrapped  # functools.partial (possibly nested)
     qualname = getattr(action, "__qualname__", None)
-    if qualname is None:  # pragma: no cover - exotic callables
-        return type(action).__name__
+    if qualname is None:
+        qualname = getattr(type(action), "__qualname__", type(action).__name__)
     return qualname.split(".<locals>")[0]
 
 

@@ -8,6 +8,12 @@ tracer and the probe period, ready to hand to a world or a workload:
     telemetry.write_chrome_trace("pingpong.trace.json")
     print(telemetry.snapshot()["nic1.alpu.posted/match_successes"])
 
+With ``timeline=True`` the bundle also carries a
+:class:`~repro.obs.timeline.Timeline` the sampling probe feeds, and with
+``health=True`` a :class:`~repro.obs.health.HealthMonitor` whose
+:func:`~repro.obs.health.default_watchdogs` battery turns that timeline
+(plus the metrics snapshot) into structured findings at end of run.
+
 A Telemetry object is **per run**: registries accumulate forever and
 collectors bind to the components of one world, so reuse across runs
 mixes numbers.  The sweep helpers in :mod:`repro.workloads.runner`
@@ -17,14 +23,21 @@ create one per point for exactly this reason.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.obs.chrome import to_chrome
+from repro.obs.health import HealthFinding, HealthMonitor
 from repro.obs.lifecycle import LifecycleRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import DEFAULT_INTERVAL_PS
 from repro.obs.selfprof import SimProfiler
+from repro.obs.timeline import Timeline
 from repro.obs.tracer import Tracer
+
+#: schema version of :meth:`Telemetry.report` documents (and of the
+#: sweep telemetry dumps that embed them); bump on shape changes so
+#: :mod:`repro.analysis` can dispatch
+REPORT_VERSION = 2
 
 
 class Telemetry:
@@ -38,6 +51,8 @@ class Telemetry:
         probe_interval_ps: Optional[int] = DEFAULT_INTERVAL_PS,
         lifecycle: bool = False,
         profile: bool = False,
+        timeline: bool = False,
+        health: bool = False,
     ) -> None:
         self.metrics = MetricsRegistry() if metrics else None
         self.tracer = Tracer() if tracing else None
@@ -47,6 +62,13 @@ class Telemetry:
         self.lifecycle = LifecycleRecorder() if lifecycle else None
         #: wall-clock simulator self-profiler (opt-in)
         self.profiler = SimProfiler() if profile else None
+        #: windowed timeseries the sampling probe feeds (opt-in)
+        self.timeline = Timeline() if timeline else None
+        #: health watchdog battery evaluated at end of run (opt-in);
+        #: ``health=True`` implies a timeline -- the watchdogs need one
+        if health and self.timeline is None:
+            self.timeline = Timeline()
+        self.health = HealthMonitor() if health else None
 
     # ------------------------------------------------------------- outputs
     def snapshot(self) -> Dict[str, object]:
@@ -70,6 +92,24 @@ class Telemetry:
         """The recorded lifecycles ([] when the recorder is off)."""
         return list(self.lifecycle.lifecycles) if self.lifecycle else []
 
+    def health_findings(self) -> List[HealthFinding]:
+        """Evaluate (once) and return the watchdog findings.
+
+        [] when the monitor is off.  Evaluation is cached inside the
+        monitor, so calling this repeatedly -- or after the report -- is
+        free and consistent.
+        """
+        if self.health is None:
+            return []
+        return self.health.evaluate(self.timeline, self.snapshot())
+
+    def health_verdict(self) -> str:
+        """Worst finding severity, or ``"healthy"`` (also when off)."""
+        if self.health is None:
+            return "healthy"
+        self.health_findings()
+        return self.health.verdict()
+
     def write_lifecycles(self, path) -> dict:
         """Dump the lifecycle record as JSON (the attribution CLI input)."""
         document = (
@@ -91,8 +131,34 @@ class Telemetry:
         return document
 
     def report(self, **meta) -> dict:
-        """A JSON-serializable run report: metadata + metrics snapshot."""
-        return {"meta": dict(meta), "metrics": self.snapshot()}
+        """The unified, JSON-serializable run report (schema v2).
+
+        Always carries ``version``, ``meta``, ``metrics``, ``health``
+        (findings + verdict; empty/healthy when the monitor is off).
+        ``timeline``, ``lifecycles`` and ``profile`` appear when their
+        collectors are enabled, else ``None`` -- the renderer in
+        :mod:`repro.analysis.report` folds whatever is present.
+        """
+        return {
+            "version": REPORT_VERSION,
+            "meta": dict(meta),
+            "metrics": self.snapshot(),
+            "timeline": (
+                self.timeline.to_obj() if self.timeline is not None else None
+            ),
+            "health": {
+                "verdict": self.health_verdict(),
+                "findings": [f.to_obj() for f in self.health_findings()],
+            },
+            "lifecycles": (
+                self.lifecycle.to_obj()["lifecycles"]
+                if self.lifecycle is not None
+                else None
+            ),
+            "profile": (
+                self.profiler.snapshot() if self.profiler is not None else None
+            ),
+        }
 
     def write_report(self, path, **meta) -> dict:
         """Write :meth:`report` to ``path`` as JSON; returns the report."""

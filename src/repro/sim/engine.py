@@ -14,7 +14,7 @@ from typing import Any, Callable, Optional
 from repro.obs.lifecycle import NULL_LIFECYCLE
 from repro.obs.metrics import NULL_REGISTRY
 from repro.obs.selfprof import perf_counter
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.event import Event, EventHandle
 
 
@@ -27,12 +27,6 @@ class Engine:
 
     Parameters
     ----------
-    trace:
-        .. deprecated:: use ``tracer`` instead.  Legacy callback invoked
-           as ``trace(time_ps, label)`` for every trace record emitted
-           through the engine's tracer, with ``label`` rendered as
-           ``"category:name"``.  Kept so old call sites run unchanged; it
-           is now an adapter over the structured :class:`Tracer`.
     tracer:
         A :class:`repro.obs.tracer.Tracer` collecting structured records
         from instrumented components.  Defaults to the shared no-op
@@ -53,7 +47,6 @@ class Engine:
 
     def __init__(
         self,
-        trace: Optional[Callable[[int, str], None]] = None,
         *,
         tracer=None,
         metrics=None,
@@ -72,14 +65,6 @@ class Engine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.lifecycle = lifecycle if lifecycle is not None else NULL_LIFECYCLE
         self.profiler = profiler
-        if trace is not None:
-            # legacy hook: promote to a real tracer if none was supplied
-            # and forward every record as (time_ps, "category:name")
-            if not self.tracer.enabled:
-                self.tracer = Tracer()
-            self.tracer.subscribe(
-                lambda rec: trace(rec.time_ps, f"{rec.category}:{rec.name}")
-            )
         self.tracer.attach_clock(lambda: self._now)
         self.lifecycle.attach_clock(lambda: self._now)
 

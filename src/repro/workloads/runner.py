@@ -40,6 +40,7 @@ __all__ = [
     "rows_by_preset",
     "telemetry_report",
     "dump_telemetry",
+    "TELEMETRY_DUMP_VERSION",
 ]
 
 
@@ -122,13 +123,20 @@ def rows_by_preset(rows: Iterable) -> Dict[str, List]:
     return grouped
 
 
+#: schema version of the sweep telemetry dump; v2 rows carry ``health``
+#: (verdict + findings) next to ``metrics``/``attribution``
+TELEMETRY_DUMP_VERSION = 2
+
+
 def telemetry_report(rows: Iterable, **meta: object) -> Dict[str, object]:
     """Bundle sweep rows (with their metrics snapshots) into one report.
 
     The shape matches what :mod:`repro.analysis.telemetry` loads back:
-    ``{"meta": {...}, "rows": [{<row fields>, "metrics": {...}}, ...]}``.
+    ``{"version": 2, "meta": {...}, "rows": [{<row fields>,
+    "metrics": {...}, "health": {...}}, ...]}``.
     """
     return {
+        "version": TELEMETRY_DUMP_VERSION,
         "meta": dict(meta),
         "rows": [dataclasses.asdict(row) for row in rows],
     }

@@ -76,6 +76,9 @@ class PrepostedRow:
     metrics: Optional[Dict[str, object]] = None
     #: per-stage latency attribution (sweeps with ``lifecycle=True`` only)
     attribution: Optional[Dict[str, object]] = None
+    #: watchdog verdict+findings (``telemetry=True`` sweeps only):
+    #: ``{"verdict": str, "findings": [HealthFinding.to_obj(), ...]}``
+    health: Optional[Dict[str, object]] = None
 
 
 @dataclasses.dataclass
@@ -90,6 +93,9 @@ class UnexpectedRow:
     metrics: Optional[Dict[str, object]] = None
     #: per-stage latency attribution (sweeps with ``lifecycle=True`` only)
     attribution: Optional[Dict[str, object]] = None
+    #: watchdog verdict+findings (``telemetry=True`` sweeps only):
+    #: ``{"verdict": str, "findings": [HealthFinding.to_obj(), ...]}``
+    health: Optional[Dict[str, object]] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -228,8 +234,9 @@ class SweepSpec:
 
 
 #: bump when row semantics change, so stale cache files never resurface
-#: (2: rows gained the ``attribution`` field; 3: keys gained ``faults``)
-CACHE_VERSION = 3
+#: (2: rows gained the ``attribution`` field; 3: keys gained ``faults``;
+#: 4: rows gained the ``health`` field, telemetry runs grew timelines)
+CACHE_VERSION = 4
 
 
 class SweepCache:
@@ -320,7 +327,14 @@ def run_point(
         # fault/no-fault sweeps never leak state into each other)
         nic = dataclasses.replace(nic, reliability=ReliabilityConfig(enabled=True))
     bundle = (
-        Telemetry(tracing=False, lifecycle=spec.lifecycle)
+        # telemetry sweeps also carry the windowed timeline and the
+        # default watchdog battery, so every row gets a health verdict
+        Telemetry(
+            tracing=False,
+            lifecycle=spec.lifecycle,
+            timeline=spec.telemetry,
+            health=spec.telemetry,
+        )
         if (spec.telemetry or spec.lifecycle)
         else None
     )
@@ -330,6 +344,12 @@ def run_point(
     attribution = None
     if spec.lifecycle:
         attribution = attribute_run(bundle.lifecycles())
+    health = None
+    if spec.telemetry:
+        health = {
+            "verdict": bundle.health_verdict(),
+            "findings": [f.to_obj() for f in bundle.health_findings()],
+        }
     fields = {name: params[name] for name in bench.row_fields}
     return bench.row_cls(
         preset=preset,
@@ -338,6 +358,7 @@ def run_point(
         # comparable by attaching them only when telemetry was asked for
         metrics=result.metrics if spec.telemetry else None,
         attribution=attribution,
+        health=health,
         **fields,
     )
 

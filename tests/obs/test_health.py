@@ -1,0 +1,280 @@
+"""Watchdogs: threshold, derivative, stall, metric; the monitor; verdicts."""
+
+import pytest
+
+from repro.obs.health import (
+    DerivativeWatchdog,
+    HealthFinding,
+    HealthMonitor,
+    MetricWatchdog,
+    StallWatchdog,
+    ThresholdWatchdog,
+    Watchdog,
+    default_watchdogs,
+    has_finding,
+    verdict_of,
+)
+from repro.obs.timeline import Timeline
+
+
+def fill(timeline, name, samples, *, mode="sample", window_ps=100):
+    series = timeline.series(name, mode=mode, window_ps=window_ps)
+    for time_ps, value in samples:
+        series.observe(time_ps, value)
+    return series
+
+
+class TestThresholdWatchdog:
+    def test_single_offending_window_fires_without_sustain(self):
+        timeline = Timeline()
+        fill(timeline, "q/depth", [(10, 6.0), (110, 1.0)])
+        dog = ThresholdWatchdog("hot", "q/*", stat="last", threshold=5.0)
+        (finding,) = dog.evaluate(timeline, {})
+        assert finding.code == "hot"
+        assert finding.series == "q/depth"
+        assert finding.value == 6.0
+        assert finding.threshold == 5.0
+        assert (finding.start_ps, finding.end_ps) == (0, 100)
+
+    def test_sustain_requires_contiguous_simulated_time(self):
+        def run(samples):
+            timeline = Timeline()
+            fill(timeline, "q/depth", samples)
+            dog = ThresholdWatchdog(
+                "hot", "q/depth", threshold=5.0, sustain_ps=300
+            )
+            return dog.evaluate(timeline, {})
+
+        # two offending windows: 200 ps < 300 ps sustain
+        assert run([(0, 9.0), (100, 9.0)]) == []
+        # three contiguous offending windows: 300 ps, fires
+        (finding,) = run([(0, 9.0), (100, 9.0), (200, 9.0)])
+        assert (finding.start_ps, finding.end_ps) == (0, 300)
+        # an unobserved gap (window 2 missing) breaks the run
+        assert run([(0, 9.0), (100, 9.0), (300, 9.0), (400, 9.0)]) == []
+        # a sustained run followed by a gap and a short echo still fires
+        # (the gap must not drop the earlier, sufficient run)
+        (finding,) = run(
+            [(0, 9.0), (100, 9.0), (200, 9.0), (500, 9.0)]
+        )
+        assert (finding.start_ps, finding.end_ps) == (0, 300)
+
+    def test_one_finding_per_series_only(self):
+        timeline = Timeline()
+        # two separate offending windows with healthy air between them
+        fill(timeline, "q/depth", [(0, 9.0), (100, 0.0), (200, 9.0)])
+        dog = ThresholdWatchdog("hot", "q/depth", threshold=5.0)
+        findings = dog.evaluate(timeline, {})
+        assert len(findings) == 1
+        assert findings[0].start_ps == 0  # the first offending run
+
+    def test_glob_pattern_covers_every_matching_series(self):
+        timeline = Timeline()
+        fill(timeline, "nic0.rel/retransmits", [(0, 9.0)])
+        fill(timeline, "nic1.rel/retransmits", [(0, 9.0)])
+        fill(timeline, "nic0.fw/completions", [(0, 9.0)])
+        dog = ThresholdWatchdog("storm", "*.rel/retransmits", threshold=2.0)
+        assert [f.series for f in dog.evaluate(timeline, {})] == [
+            "nic0.rel/retransmits",
+            "nic1.rel/retransmits",
+        ]
+
+
+class TestDerivativeWatchdog:
+    SAMPLES = [(0, 0.0), (100, 5.0), (200, 5.0), (300, 12.0)]
+
+    def test_plateaus_allowed_when_not_strict(self):
+        timeline = Timeline()
+        fill(timeline, "q/depth", self.SAMPLES)
+        dog = DerivativeWatchdog(
+            "growth", "q/depth", min_rise=10.0, sustain_ps=300, strict=False
+        )
+        (finding,) = dog.evaluate(timeline, {})
+        assert finding.value == 12.0  # the net rise
+        assert (finding.start_ps, finding.end_ps) == (0, 400)
+
+    def test_plateau_breaks_a_strict_run(self):
+        timeline = Timeline()
+        fill(timeline, "q/depth", self.SAMPLES)
+        dog = DerivativeWatchdog(
+            "growth", "q/depth", min_rise=10.0, sustain_ps=300, strict=True
+        )
+        assert dog.evaluate(timeline, {}) == []
+
+    def test_small_rises_are_healthy(self):
+        timeline = Timeline()
+        fill(timeline, "q/depth", self.SAMPLES)
+        dog = DerivativeWatchdog(
+            "growth", "q/depth", min_rise=50.0, sustain_ps=300, strict=False
+        )
+        assert dog.evaluate(timeline, {}) == []
+
+    def test_a_drain_breaks_the_run(self):
+        timeline = Timeline()
+        fill(
+            timeline,
+            "q/depth",
+            [(0, 0.0), (100, 20.0), (200, 1.0), (300, 25.0)],
+        )
+        dog = DerivativeWatchdog(
+            "growth", "q/depth", min_rise=10.0, sustain_ps=300, strict=False
+        )
+        assert dog.evaluate(timeline, {}) == []
+
+
+class TestStallWatchdog:
+    def make(self, *, progress_flat, progress_window_ps=100):
+        timeline = Timeline()
+        fill(
+            timeline,
+            "engine/events",
+            [(k * 100, float(10 * k)) for k in range(6)],
+            mode="cumulative",
+        )
+        value = (lambda k: 0.0) if progress_flat else (lambda k: float(k))
+        fill(
+            timeline,
+            "nic0.fw/completions",
+            [(k * 100, value(k)) for k in range(6)],
+            mode="cumulative",
+            window_ps=progress_window_ps,
+        )
+        return timeline
+
+    def test_activity_without_progress_is_a_stall(self):
+        dog = StallWatchdog(
+            "livelock", "*.fw/completions", "engine/events", sustain_ps=300
+        )
+        (finding,) = dog.evaluate(self.make(progress_flat=True), {})
+        assert finding.code == "livelock"
+        assert finding.severity == "critical"
+        # window 0 contributes no activity delta; the stall spans 100..600
+        assert (finding.start_ps, finding.end_ps) == (100, 600)
+
+    def test_steady_progress_is_healthy(self):
+        dog = StallWatchdog(
+            "livelock", "*.fw/completions", "engine/events", sustain_ps=300
+        )
+        assert dog.evaluate(self.make(progress_flat=False), {}) == []
+
+    def test_short_stalls_are_tolerated(self):
+        dog = StallWatchdog(
+            "livelock", "*.fw/completions", "engine/events", sustain_ps=5000
+        )
+        assert dog.evaluate(self.make(progress_flat=True), {}) == []
+
+    def test_mismatched_resolutions_never_fabricate_a_stall(self):
+        dog = StallWatchdog(
+            "livelock", "*.fw/completions", "engine/events", sustain_ps=300
+        )
+        timeline = self.make(progress_flat=True, progress_window_ps=200)
+        assert dog.evaluate(timeline, {}) == []
+
+    def test_empty_timeline_is_healthy(self):
+        dog = StallWatchdog(
+            "livelock", "*.fw/completions", "engine/events", sustain_ps=300
+        )
+        assert dog.evaluate(Timeline(), {}) == []
+
+
+class TestMetricWatchdog:
+    def test_counter_at_threshold_fires(self):
+        dog = MetricWatchdog("degraded", "*.fw/backend_degraded")
+        (finding,) = dog.evaluate(
+            Timeline(), {"nic0.fw/backend_degraded": 1}
+        )
+        assert finding.series == "nic0.fw/backend_degraded"
+        assert finding.value == 1.0
+
+    def test_zero_counter_is_healthy(self):
+        dog = MetricWatchdog("degraded", "*.fw/backend_degraded")
+        assert dog.evaluate(Timeline(), {"nic0.fw/backend_degraded": 0}) == []
+
+    def test_gauge_dicts_compare_their_value(self):
+        dog = MetricWatchdog("big", "g", threshold=2.0)
+        assert dog.evaluate(Timeline(), {"g": {"value": 3.0}}) != []
+        assert dog.evaluate(Timeline(), {"g": {"value": 1.0}}) == []
+        # non-numeric payloads are skipped, not crashed on
+        assert dog.evaluate(Timeline(), {"g": {"value": "n/a"}}) == []
+        assert dog.evaluate(Timeline(), {"g": "text"}) == []
+
+
+class TestMonitorAndVerdicts:
+    def test_invalid_severity_is_rejected(self):
+        with pytest.raises(ValueError):
+            Watchdog("x", severity="catastrophic")
+
+    def test_default_battery_codes(self):
+        assert [dog.code for dog in default_watchdogs()] == [
+            "retransmit_storm",
+            "unexpected_backlog_growth",
+            "reorder_stall",
+            "backend_degraded",
+            "sim_livelock",
+        ]
+
+    def test_findings_sort_by_severity_then_code(self):
+        timeline = Timeline()
+        fill(timeline, "a/x", [(0, 9.0)])
+        fill(timeline, "b/x", [(0, 9.0)])
+        monitor = HealthMonitor(
+            [
+                ThresholdWatchdog("mild", "a/x", threshold=1.0),
+                ThresholdWatchdog(
+                    "bad", "b/x", threshold=1.0, severity="critical"
+                ),
+                ThresholdWatchdog("also_mild", "b/x", threshold=1.0),
+            ]
+        )
+        findings = monitor.evaluate(timeline, {})
+        assert [(f.severity, f.code) for f in findings] == [
+            ("critical", "bad"),
+            ("warning", "also_mild"),
+            ("warning", "mild"),
+        ]
+        assert monitor.verdict() == "critical"
+
+    def test_evaluation_is_cached(self):
+        timeline = Timeline()
+        monitor = HealthMonitor([ThresholdWatchdog("hot", "q", threshold=1.0)])
+        assert monitor.evaluate(timeline, {}) == []
+        assert monitor.verdict() == "healthy"
+        # new offending data after the first evaluation changes nothing:
+        # a monitor is per-run, evaluated once at the end
+        fill(timeline, "q", [(0, 9.0)])
+        assert monitor.evaluate(timeline, {}) == []
+
+    def test_verdict_helpers_accept_dicts_and_records(self):
+        finding = HealthFinding(
+            code="hot",
+            severity="warning",
+            series="q",
+            start_ps=0,
+            end_ps=100,
+            value=9.0,
+            threshold=1.0,
+            message="q hot",
+        )
+        assert verdict_of([]) == "healthy"
+        assert verdict_of([finding]) == "warning"
+        assert verdict_of([finding.to_obj()]) == "warning"
+        assert (
+            verdict_of([finding.to_obj(), {**finding.to_obj(), "severity": "critical"}])
+            == "critical"
+        )
+        assert has_finding([finding], "hot")
+        assert has_finding([finding.to_obj()], "hot")
+        assert not has_finding([finding], "cold")
+
+    def test_finding_round_trips_through_json_shape(self):
+        finding = HealthFinding(
+            code="hot",
+            severity="critical",
+            series="q",
+            start_ps=100,
+            end_ps=400,
+            value=9.0,
+            threshold=1.0,
+            message="q hot",
+        )
+        assert HealthFinding.from_obj(finding.to_obj()) == finding

@@ -1,9 +1,10 @@
-"""Sampling probe: periodic ticks, histograms, zero perturbation."""
+"""Sampling probe: periodic ticks, histograms, timelines, zero perturbation."""
 
 import pytest
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import SamplingProbe
+from repro.obs.timeline import Timeline
 from repro.obs.tracer import Tracer
 from repro.sim.engine import Engine
 
@@ -52,6 +53,60 @@ def test_start_is_idempotent_and_noop_without_samplers():
 def test_invalid_interval_rejected():
     with pytest.raises(ValueError):
         SamplingProbe(Engine(), 0)
+
+
+def test_each_tick_lands_in_its_own_window():
+    # tick k fires at exactly k * interval -- an exact window boundary --
+    # so with window == interval every tick must open window k, never
+    # fold back into window k-1
+    engine = Engine()
+    timeline = Timeline(window_ps=100)
+    values = iter(range(1, 100))
+    probe = SamplingProbe(engine, 100, timeline=timeline)
+    probe.add("nic", "q.depth", lambda: next(values), series="q/depth")
+    probe.start()
+    engine.run(until=450)  # ticks at 100, 200, 300, 400
+    series = timeline.get("q/depth")
+    assert probe.ticks == 4
+    assert series.points("count") == [(100, 1), (200, 1), (300, 1), (400, 1)]
+    assert series.points("last") == [(100, 1), (200, 2), (300, 3), (400, 4)]
+
+
+def test_cumulative_series_and_window_override_pass_through():
+    engine = Engine()
+    timeline = Timeline(window_ps=100)
+    total = [0]
+
+    def bump_and_read():
+        total[0] += 3
+        return total[0]
+
+    probe = SamplingProbe(engine, 100, timeline=timeline)
+    probe.add(
+        "nic",
+        "retransmits",
+        bump_and_read,
+        series="rel/retransmits",
+        mode="cumulative",
+        window_ps=400,  # wider than the timeline default
+    )
+    probe.start()
+    engine.run(until=850)  # ticks at 100..800
+    series = timeline.get("rel/retransmits")
+    assert series.mode == "cumulative"
+    assert series.window_ps == 400
+    # window 0 holds ticks 1..3 (base 3), window 1 ticks 4..7, window 2 tick 8
+    assert series.points("delta") == [(0, 6.0), (400, 12.0), (800, 3.0)]
+
+
+def test_series_are_optional_and_need_a_timeline():
+    engine = Engine()
+    # no timeline on the probe: a series name is quietly ignored
+    probe = SamplingProbe(engine, 100)
+    probe.add("nic", "x", lambda: 1, series="q/depth")
+    probe.start()
+    engine.run(until=250)
+    assert probe.ticks == 2  # sampling still works, nothing crashed
 
 
 def test_probe_does_not_perturb_other_events():

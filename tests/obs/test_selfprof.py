@@ -1,0 +1,95 @@
+"""Self-profiler: handler attribution labels and aggregation."""
+
+import functools
+
+from repro.obs.selfprof import SimProfiler, handler_label
+
+
+def free_function(a=0, b=0):
+    return a + b
+
+
+class Component:
+    def handler(self):
+        pass
+
+    def __call__(self):
+        pass
+
+
+class FalseFunc:
+    """Callable carrying a non-callable ``func`` attribute."""
+
+    func = "not a callable"
+
+    def __call__(self):
+        pass
+
+
+def make_closure():
+    def inner():
+        pass
+
+    return inner
+
+
+class TestHandlerLabel:
+    def test_bound_method_uses_qualified_name(self):
+        assert handler_label(Component().handler) == "Component.handler"
+
+    def test_free_function(self):
+        assert handler_label(free_function) == "free_function"
+
+    def test_closure_attributes_to_its_scheduling_site(self):
+        assert handler_label(make_closure()) == "make_closure"
+
+    def test_lambda_in_method_attributes_to_the_method(self):
+        class Site:
+            def schedule(self):
+                return lambda: None
+
+        # Site itself is test-local, so the label is this test method --
+        # the point is that the ``<locals>`` tail is stripped
+        label = handler_label(Site().schedule())
+        assert "<lambda>" not in label
+        assert label.endswith("test_lambda_in_method_attributes_to_the_method")
+
+    def test_partial_unwraps_to_the_wrapped_function(self):
+        assert handler_label(functools.partial(free_function, 1)) == (
+            "free_function"
+        )
+
+    def test_nested_partials_unwrap_fully(self):
+        nested = functools.partial(functools.partial(free_function, 1), b=2)
+        assert handler_label(nested) == "free_function"
+
+    def test_partial_of_bound_method(self):
+        wrapped = functools.partial(Component().handler)
+        assert handler_label(wrapped) == "Component.handler"
+
+    def test_callable_instance_uses_its_type(self):
+        assert handler_label(Component()) == "Component"
+
+    def test_partial_of_callable_instance(self):
+        assert handler_label(functools.partial(Component())) == "Component"
+
+    def test_non_callable_func_attribute_is_not_unwrapped(self):
+        assert handler_label(FalseFunc()) == "FalseFunc"
+
+
+class TestSimProfiler:
+    def test_aggregates_per_label(self):
+        profiler = SimProfiler()
+        profiler.record(free_function, 0.5)
+        profiler.record(functools.partial(free_function, 1), 0.25)
+        profiler.record(Component().handler, 0.25)
+        assert profiler.events == 3
+        assert profiler.handler_seconds == 1.0
+        assert profiler.handlers["free_function"] == [2, 0.75]
+        assert profiler.events_per_sec == 3.0
+        snapshot = profiler.snapshot(top=1)
+        assert snapshot["events"] == 3
+        assert list(snapshot["top_handlers"]) == ["free_function"]
+
+    def test_no_events_means_no_rate(self):
+        assert SimProfiler().events_per_sec == 0.0

@@ -1,0 +1,144 @@
+"""Windowed timeseries: folding, stats, downsampling, serialization."""
+
+import pytest
+
+from repro.obs.timeline import DEFAULT_WINDOW_PS, Series, Timeline
+
+
+class TestSeriesFolding:
+    def test_samples_fold_into_their_windows(self):
+        series = Series("q/depth", window_ps=100)
+        series.observe(10, 3.0)
+        series.observe(50, 7.0)
+        series.observe(150, 1.0)
+        assert len(series) == 2
+        assert series.points("count") == [(0, 2), (100, 1)]
+        assert series.points("min") == [(0, 3.0), (100, 1.0)]
+        assert series.points("max") == [(0, 7.0), (100, 1.0)]
+        assert series.points("mean") == [(0, 5.0), (100, 1.0)]
+        assert series.points("sum") == [(0, 10.0), (100, 1.0)]
+        assert series.points("first") == [(0, 3.0), (100, 1.0)]
+        assert series.points("last") == [(0, 7.0), (100, 1.0)]
+
+    def test_boundary_sample_opens_the_next_window(self):
+        series = Series("x", window_ps=100)
+        series.observe(99, 1.0)
+        series.observe(100, 2.0)  # [100, 200) -- exactly on the boundary
+        assert series.points("count") == [(0, 1), (100, 1)]
+
+    def test_delta_is_the_per_window_increase(self):
+        series = Series("retransmits", mode="cumulative", window_ps=100)
+        series.observe(10, 0.0)
+        series.observe(110, 3.0)
+        series.observe(150, 5.0)
+        series.observe(310, 5.0)
+        # window 0: first observation is the base; window 1: 5-0; then
+        # an unobserved gap; window 3: unchanged counter = 0 new events
+        assert series.points("delta") == [(0, 0.0), (100, 5.0), (300, 0.0)]
+
+    def test_default_stat_follows_the_mode(self):
+        assert Series("a").default_stat == "last"
+        assert Series("b", mode="cumulative").default_stat == "delta"
+
+    def test_span_covers_first_to_last_window(self):
+        series = Series("x", window_ps=100)
+        assert series.span_ps() == 0
+        series.observe(250, 1.0)
+        series.observe(910, 1.0)
+        assert series.span_ps() == 800  # [200, 1000)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            Series("x", mode="gauge")
+        with pytest.raises(ValueError):
+            Series("x", window_ps=0)
+        with pytest.raises(ValueError):
+            Series("x", max_windows=1)
+        with pytest.raises(ValueError):
+            Series("x").points("median")
+
+
+class TestDownsampling:
+    def test_overflow_doubles_window_and_merges_pairs(self):
+        series = Series("x", window_ps=10, max_windows=4)
+        for k in range(5):  # 5 windows > capacity of 4
+            series.observe(k * 10, float(k))
+        assert series.window_ps == 20
+        assert len(series) == 3
+        # pairs (0,1), (2,3) merged; window 4 re-indexed to 2
+        assert series.points("count") == [(0, 2), (20, 2), (40, 1)]
+        assert series.points("min") == [(0, 0.0), (20, 2.0), (40, 4.0)]
+        assert series.points("max") == [(0, 1.0), (20, 3.0), (40, 4.0)]
+        assert series.points("last") == [(0, 1.0), (20, 3.0), (40, 4.0)]
+
+    def test_memory_stays_bounded_over_long_runs(self):
+        series = Series("x", window_ps=10, max_windows=8)
+        for k in range(10_000):
+            series.observe(k * 10, float(k % 7))
+        assert len(series) <= 8
+        assert series.window_ps >= 10 * (10_000 // 8)
+        # every sample is still accounted for
+        assert sum(v for _, v in series.points("count")) == 10_000
+
+    def test_cumulative_delta_survives_downsampling(self):
+        fine = Series("c", mode="cumulative", window_ps=10, max_windows=1000)
+        coarse = Series("c", mode="cumulative", window_ps=10, max_windows=4)
+        for k in range(64):
+            fine.observe(k * 10, float(2 * k))
+            coarse.observe(k * 10, float(2 * k))
+        # total increase over the run is invariant to resolution
+        assert sum(v for _, v in fine.points("delta")) == sum(
+            v for _, v in coarse.points("delta")
+        )
+
+
+class TestSerialization:
+    def test_series_round_trips(self):
+        series = Series("q", mode="cumulative", window_ps=100)
+        for t, v in ((10, 1.0), (120, 4.0), (130, 6.0)):
+            series.observe(t, v)
+        clone = Series.from_obj("q", series.to_obj())
+        assert clone.mode == "cumulative"
+        assert clone.window_ps == 100
+        for stat in ("count", "min", "max", "first", "last", "delta"):
+            assert clone.points(stat) == series.points(stat)
+
+    def test_timeline_round_trips(self):
+        timeline = Timeline(window_ps=50)
+        timeline.series("a").observe(10, 1.0)
+        timeline.series("b", mode="cumulative").observe(60, 2.0)
+        clone = Timeline.from_obj(timeline.to_obj())
+        assert clone.names() == ["a", "b"]
+        assert clone.get("b").mode == "cumulative"
+        assert clone.get("a").points("last") == [(0, 1.0)]
+
+
+class TestTimelineRegistry:
+    def test_series_is_get_or_create(self):
+        timeline = Timeline()
+        assert timeline.series("x") is timeline.series("x")
+        assert len(timeline) == 1
+
+    def test_mode_conflict_is_an_error(self):
+        timeline = Timeline()
+        timeline.series("x", mode="sample")
+        with pytest.raises(ValueError):
+            timeline.series("x", mode="cumulative")
+
+    def test_window_override_applies_at_creation_only(self):
+        timeline = Timeline(window_ps=100)
+        wide = timeline.series("w", window_ps=1000)
+        assert wide.window_ps == 1000
+        assert timeline.series("w").window_ps == 1000  # override sticks
+        assert timeline.series("normal").window_ps == 100
+
+    def test_default_window_matches_probe_period(self):
+        from repro.obs.probe import DEFAULT_INTERVAL_PS
+
+        assert DEFAULT_WINDOW_PS == DEFAULT_INTERVAL_PS
+
+    def test_observe_shorthand(self):
+        timeline = Timeline()
+        timeline.observe("q", 10, 4.0)
+        assert timeline.get("q").points("last") == [(0, 4.0)]
+        assert timeline.get("missing") is None

@@ -63,8 +63,23 @@ class TestPinnedLatencies:
         assert bundle.profiler.events > 0
         assert bundle.profiler.events_per_sec > 0
 
+    def test_timeline_and_watchdogs_are_zero_perturbation(
+        self, workload, preset
+    ):
+        bundle = Telemetry(tracing=False, timeline=True, health=True)
+        result = run_point(workload, preset, telemetry=bundle)
+        assert result.latencies_ns == PINNED[(workload, preset)]
+        # and they genuinely ran: the timeline has series, the watchdog
+        # battery evaluated the healthy benchmark to zero findings
+        assert bundle.timeline.names()
+        assert any(
+            name.endswith("/depth") for name in bundle.timeline.names()
+        )
+        assert bundle.health_findings() == []
+        assert bundle.health_verdict() == "healthy"
+
     def test_everything_on_is_zero_perturbation(self, workload, preset):
-        bundle = Telemetry(lifecycle=True, profile=True)
+        bundle = Telemetry(lifecycle=True, profile=True, timeline=True, health=True)
         result = run_point(workload, preset, telemetry=bundle)
         assert result.latencies_ns == PINNED[(workload, preset)]
 

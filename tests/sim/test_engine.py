@@ -163,20 +163,13 @@ def test_pending_excludes_cancelled_events():
     assert engine.raw_pending == 0
 
 
-def test_legacy_trace_callback_adapts_to_tracer():
-    seen = []
-    engine = Engine(trace=lambda t, label: seen.append((t, label)))
-    assert engine.tracer.enabled  # the legacy hook promotes a real tracer
-
-    def act():
-        engine.tracer.instant("nic", "poke", {"n": 1})
-
-    engine.schedule(25, act)
-    engine.run()
-    assert seen == [(25, "nic:poke")]
-    # the structured record is also collected
-    (record,) = engine.tracer.records
-    assert (record.time_ps, record.category, record.name) == (25, "nic", "poke")
+def test_legacy_trace_keyword_is_gone():
+    """The PR-1 ``trace=`` adapter is removed: ``tracer=`` is the only
+    tracing hook, and every observability parameter is keyword-only."""
+    with pytest.raises(TypeError):
+        Engine(trace=lambda t, label: None)
+    with pytest.raises(TypeError):
+        Engine(lambda t, label: None)
 
 
 def test_engine_defaults_are_disabled_singletons():

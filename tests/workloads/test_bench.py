@@ -88,8 +88,39 @@ class TestCheck:
             record["events_per_sec"] = record["events_per_sec"] * 100
         baseline_path.write_text(json.dumps(payload))
         ok, messages = check_baseline(str(baseline_path), grid_records)
-        assert ok  # wall clock never fails the build
+        assert ok  # wall clock warns by default
         assert any(m.startswith("WARN") for m in messages)
+
+    def test_wallclock_regression_fails_when_gated(
+        self, baseline_path, grid_records
+    ):
+        payload = json.loads(baseline_path.read_text())
+        for record in payload["grid"]:
+            record["events_per_sec"] = record["events_per_sec"] * 100
+        baseline_path.write_text(json.dumps(payload))
+        ok, messages = check_baseline(
+            str(baseline_path), grid_records, fail_on_wallclock=True
+        )
+        assert not ok
+        assert any(
+            m.startswith("FAIL") and "events/s" in m for m in messages
+        )
+        # latencies themselves still pass: only the wall-clock axis trips
+        assert any(m.startswith("ok") for m in messages)
+
+    def test_tolerance_band_is_per_point(self, baseline_path, grid_records):
+        """A point's committed band overrides the default: a wide band
+        swallows a slowdown the default would flag."""
+        payload = json.loads(baseline_path.read_text())
+        for record in payload["grid"]:
+            record["events_per_sec"] = record["events_per_sec"] * 100
+            record["events_per_sec_tolerance"] = 0.999
+        baseline_path.write_text(json.dumps(payload))
+        ok, messages = check_baseline(
+            str(baseline_path), grid_records, fail_on_wallclock=True
+        )
+        assert ok, "\n".join(messages)
+        assert not any("events/s" in m for m in messages)
 
 
 class TestCli:
@@ -120,8 +151,11 @@ class TestArtifacts:
             "attribution_baseline.txt",
             "lifecycle_trace_alpu128.json",
             "lifecycle_trace_baseline.json",
+            "run_report.html",
+            "run_report.json",
+            "run_report.txt",
         ]
-        assert len(written) == 5
+        assert len(written) == 8
         report = json.loads((out / "attribution.json").read_text())
         for preset in ("baseline", "alpu128"):
             for message in report[preset]["messages"]:
@@ -135,3 +169,9 @@ class TestArtifacts:
             (out / "lifecycle_trace_baseline.json").read_text()
         )
         assert trace["traceEvents"]
+        html = (out / "run_report.html").read_text()
+        assert "Run report" in html and "healthy" in html
+        report = json.loads((out / "run_report.json").read_text())
+        assert report["version"] == 2
+        assert report["health"]["verdict"] == "healthy"
+        assert report["attribution"]["aggregate"]["count"] > 0

@@ -1,7 +1,14 @@
-"""The faulty sweep preset: completion under loss, cache-key hygiene."""
+"""The faulty sweep preset: completion under loss, health verdicts,
+cache-key hygiene."""
 
 from repro.network.faults import FaultConfig
-from repro.workloads.faulty import LOSS_RATES, _retransmits, faulty_spec
+from repro.obs.health import has_finding, verdict_of
+from repro.workloads.faulty import (
+    LOSS_RATES,
+    STORM_LOSS_RATE,
+    _retransmits,
+    faulty_spec,
+)
 from repro.workloads.sweep import SweepCache, SweepSpec, run_sweep
 
 
@@ -58,3 +65,44 @@ def test_faulty_sweep_rows_are_reproducible():
         1e-2, presets=("baseline",), queue_lengths=(4,), iterations=10, warmup=1
     )
     assert run_sweep(spec) == run_sweep(spec)
+
+
+def test_zero_fault_rows_carry_a_clean_health_verdict():
+    spec = faulty_spec(
+        0.0, presets=("baseline",), queue_lengths=(4,), iterations=6, warmup=1
+    )
+    (row,) = run_sweep(spec)
+    assert row.health == {"verdict": "healthy", "findings": []}
+    assert verdict_of(row.health["findings"]) == "healthy"
+
+
+def test_storm_loss_rate_raises_retransmit_storm_deterministically():
+    point = dict(
+        presets=("baseline",), queue_lengths=(8,), iterations=40, warmup=2
+    )
+    (row,) = run_sweep(faulty_spec(STORM_LOSS_RATE, **point))
+    assert row.health is not None
+    assert row.health["verdict"] == "warning"
+    assert has_finding(row.health["findings"], "retransmit_storm")
+    # findings are JSON-shaped dicts with the full evidence span
+    finding = next(
+        f for f in row.health["findings"] if f["code"] == "retransmit_storm"
+    )
+    assert finding["value"] >= finding["threshold"]
+    assert finding["end_ps"] > finding["start_ps"]
+    # deterministic under the pinned seed: a rerun reports the same health
+    (again,) = run_sweep(faulty_spec(STORM_LOSS_RATE, **point))
+    assert again.health == row.health
+
+
+def test_telemetry_off_means_no_health_field():
+    spec = faulty_spec(
+        0.0,
+        presets=("baseline",),
+        queue_lengths=(4,),
+        iterations=6,
+        warmup=1,
+        telemetry=False,
+    )
+    (row,) = run_sweep(spec)
+    assert row.health is None

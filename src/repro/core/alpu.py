@@ -127,12 +127,12 @@ class Alpu:
 
     def __init__(
         self,
-        config: AlpuConfig = AlpuConfig(),
+        config: Optional[AlpuConfig] = None,
         *,
         metrics=None,
         name: str = "alpu",
     ) -> None:
-        self.config = config
+        self.config = config = config if config is not None else AlpuConfig()
         self.blocks: List[CellBlock] = [
             CellBlock(config.kind, config.block_size, index=i)
             for i in range(config.num_blocks)

@@ -18,7 +18,7 @@ paper's "contention for open rows" does.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,8 +50,8 @@ class Dram:
     other's rows and repeatedly pay the precharge + activate + CAS path.
     """
 
-    def __init__(self, config: DramConfig = DramConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[DramConfig] = None) -> None:
+        self.config = config if config is not None else DramConfig()
         self._open_rows: Dict[int, int] = {}
         self.page_hits = 0
         self.page_misses = 0

@@ -27,6 +27,17 @@ class MpiError(RuntimeError):
     """Illegal MPI usage (call before Init, bad rank, ...)."""
 
 
+#: reduction operators for :meth:`MpiProcess.allreduce`; applied in rank
+#: order (lower-rank partial first) so floating-point results are
+#: deterministic across runs
+_REDUCE_OPS = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+}
+
+
 class MpiProcess:
     """The MPI library instance bound to one rank's host CPU."""
 
@@ -49,6 +60,11 @@ class MpiProcess:
         self._lifecycle = self.lifecycle
         #: host buffer allocator cursor (receives/sends get distinct buffers)
         self._buffer_cursor = 0x4000_0000 + rank * 0x100_0000
+        #: per-context collective sequence numbers; every rank calls
+        #: collectives on a communicator in the same order (an MPI
+        #: requirement), so these counters advance in lockstep and carve
+        #: out collision-free tag blocks
+        self._coll_seq: Dict[int, int] = {}
 
     # ------------------------------------------------------------ lifecycle
     def init(self):
@@ -200,16 +216,60 @@ class MpiProcess:
         return request
 
     # ----------------------------------------------------------- collective
+    #
+    # Host-staged collectives: schedules built from the point-to-point
+    # layer, run on the reserved COLLECTIVE_CONTEXT.  Each collective
+    # claims a 64-tag block via :meth:`_collective_tags` (the per-context
+    # sequence counters advance in lockstep across ranks), so back-to-
+    # back collectives cannot cross-match even with deep pipelining.
+    #
+    # The simulator moves *sizes*, not payload bytes, so reduction /
+    # broadcast values travel out-of-band on the world's collective
+    # board: a sender publishes the value under a unique key before
+    # injecting the matching send, and the receiver reads it only after
+    # the matching receive completes -- the message's arrival is the
+    # happens-before edge that makes the board read safe.
+
+    def _collective_tags(self, comm: Communicator):
+        """Claim this collective's (sequence, tag-block base) pair.
+
+        Tags are 16 bits wide (MatchFormat); blocks of 64 rounds from a
+        512-entry rotation keep the maximum tag at 32767.  The rotation
+        is safe because collectives on a communicator are globally
+        ordered: a tag can only be reused 512 collectives later, long
+        after its messages drained.
+        """
+        seq = self._coll_seq.get(comm.context, 0)
+        self._coll_seq[comm.context] = seq + 1
+        return seq, (seq % 512) * 64
+
+    def _publish(self, comm: Communicator, seq: int, round_index: int, value):
+        """Stage ``value`` for the peer of (round, sender) on the board."""
+        key = (comm.context, seq, self.rank, round_index)
+        self.world.collective_board[key] = value
+
+    def _collect(self, comm: Communicator, seq: int, round_index: int, src: int):
+        """Read (and consume) the value ``src`` staged for us."""
+        key = (comm.context, seq, src, round_index)
+        try:
+            return self.world.collective_board.pop(key)
+        except KeyError:
+            raise MpiError(
+                f"rank {self.rank}: no staged collective value for {key}; "
+                "collective schedule out of step"
+            ) from None
+
     def barrier(self, comm: Optional[Communicator] = None):
         """MPI_Barrier: dissemination algorithm on the reserved context.
 
         ceil(log2(P)) rounds; in round k, send to (rank + 2^k) mod P and
-        receive from (rank - 2^k) mod P.  Tags encode the round so
-        consecutive barriers cannot interfere.
+        receive from (rank - 2^k) mod P.  Tags come from this barrier's
+        claimed block so consecutive collectives cannot interfere.
         """
         self._require_init()
         comm = comm or self.comm_world
         size = comm.size
+        _, base = self._collective_tags(comm)
         if size == 1:
             yield delay(self.proc.compute(self.cost.call_overhead_cycles))
             return
@@ -220,15 +280,158 @@ class MpiProcess:
             to = (self.rank + distance) % size
             frm = (self.rank - distance) % size
             send_req = yield from self.isend(
-                to, tag=round_index, size=0, comm=collective
+                to, tag=base + round_index, size=0, comm=collective
             )
             recv_req = yield from self.irecv(
-                frm, tag=round_index, size=0, comm=collective
+                frm, tag=base + round_index, size=0, comm=collective
             )
             yield from self.wait(recv_req)
             yield from self.wait(send_req)
             distance <<= 1
             round_index += 1
+
+    def bcast(
+        self,
+        value=None,
+        root: int = 0,
+        size: int = 0,
+        comm: Optional[Communicator] = None,
+    ):
+        """MPI_Bcast: binomial tree rooted at ``root``; returns the value.
+
+        Non-roots receive from the parent given by the lowest set bit of
+        their root-relative rank, then forward to children in largest-
+        offset-first order (the MPICH schedule).  ``size`` is the wire
+        payload each tree edge carries.
+        """
+        self._require_init()
+        comm = comm or self.comm_world
+        comm.check_rank(root)
+        p = comm.size
+        seq, base = self._collective_tags(comm)
+        if p == 1:
+            yield delay(self.proc.compute(self.cost.call_overhead_cycles))
+            return value
+        collective = Communicator(context=COLLECTIVE_CONTEXT, size=p)
+        relrank = (self.rank - root) % p
+        # receive from the parent (lowest set bit of relrank)
+        mask = 1
+        while mask < p:
+            if relrank & mask:
+                parent = (relrank - mask + root) % p
+                tag = base + mask.bit_length() - 1
+                yield from self.recv(parent, tag=tag, size=size, comm=collective)
+                value = self._collect(comm, seq, mask.bit_length() - 1, parent)
+                break
+            mask <<= 1
+        # forward to children, largest offset first
+        mask >>= 1
+        while mask > 0:
+            if relrank + mask < p:
+                child = (relrank + mask + root) % p
+                round_index = mask.bit_length() - 1
+                self._publish(comm, seq, round_index, value)
+                yield from self.send(
+                    child, tag=base + round_index, size=size, comm=collective
+                )
+            mask >>= 1
+        return value
+
+    def allreduce(
+        self,
+        value,
+        op: str = "sum",
+        size: int = 0,
+        comm: Optional[Communicator] = None,
+    ):
+        """MPI_Allreduce: recursive doubling; returns the reduced value.
+
+        Non-power-of-2 counts use the standard fold: the first 2*rem
+        ranks pre-combine pairwise (evens into odds) so a power-of-2 core
+        runs the doubling, then folded-out evens get the result back.
+        Partials combine lower-rank-first, so non-commutative rounding
+        (floats) is deterministic.  ``size`` is the payload bytes each
+        exchange carries.
+        """
+        self._require_init()
+        if op not in _REDUCE_OPS:
+            raise MpiError(
+                f"unknown reduction {op!r}; expected one of {sorted(_REDUCE_OPS)}"
+            )
+        reduce_op = _REDUCE_OPS[op]
+        comm = comm or self.comm_world
+        p = comm.size
+        seq, base = self._collective_tags(comm)
+        if p == 1:
+            yield delay(self.proc.compute(self.cost.call_overhead_cycles))
+            return value
+        collective = Communicator(context=COLLECTIVE_CONTEXT, size=p)
+        pof2 = 1 << (p.bit_length() - 1)
+        rem = p - pof2
+        round_index = 0
+        # fold phase: evens among the first 2*rem ranks hand their value
+        # to the odd neighbour and sit out the doubling
+        if self.rank < 2 * rem and self.rank % 2 == 0:
+            self._publish(comm, seq, round_index, value)
+            yield from self.send(
+                self.rank + 1, tag=base + round_index, size=size, comm=collective
+            )
+            newrank = -1
+        elif self.rank < 2 * rem:
+            yield from self.recv(
+                self.rank - 1, tag=base + round_index, size=size, comm=collective
+            )
+            folded = self._collect(comm, seq, round_index, self.rank - 1)
+            value = reduce_op(folded, value)  # lower rank first
+            newrank = self.rank // 2
+        else:
+            newrank = self.rank - rem
+        round_index += 1
+        # recursive doubling among the power-of-two core
+        if newrank >= 0:
+            mask = 1
+            while mask < pof2:
+                newpartner = newrank ^ mask
+                partner = (
+                    newpartner * 2 + 1 if newpartner < rem else newpartner + rem
+                )
+                self._publish(comm, seq, round_index, value)
+                send_req = yield from self.isend(
+                    partner, tag=base + round_index, size=size, comm=collective
+                )
+                recv_req = yield from self.irecv(
+                    partner, tag=base + round_index, size=size, comm=collective
+                )
+                yield from self.wait(recv_req)
+                yield from self.wait(send_req)
+                theirs = self._collect(comm, seq, round_index, partner)
+                if partner < self.rank:
+                    value = reduce_op(theirs, value)
+                else:
+                    value = reduce_op(value, theirs)
+                mask <<= 1
+                round_index += 1
+        else:
+            round_index += pof2.bit_length() - 1
+        # unfold phase: odds return the final value to the folded evens
+        if self.rank < 2 * rem:
+            if self.rank % 2:
+                self._publish(comm, seq, round_index, value)
+                yield from self.send(
+                    self.rank - 1,
+                    tag=base + round_index,
+                    size=size,
+                    comm=collective,
+                )
+            else:
+                yield from self.recv(
+                    self.rank + 1,
+                    tag=base + round_index,
+                    size=size,
+                    comm=collective,
+                )
+                value = self._collect(comm, seq, round_index, self.rank + 1)
+        return value
 
     # ------------------------------------------------------------ internals
     def _require_init(self) -> None:

@@ -105,7 +105,7 @@ class MpiWorld:
     """A complete simulated system plus its MPI job harness."""
 
     def __init__(
-        self, config: WorldConfig = WorldConfig(), *, telemetry=None
+        self, config: Optional[WorldConfig] = None, *, telemetry=None
     ) -> None:
         """``telemetry``: an optional :class:`repro.obs.Telemetry` bundle.
 
@@ -115,8 +115,14 @@ class MpiWorld:
         ``telemetry.probe_interval_ps``.  A Telemetry object is per-run;
         do not share one across worlds.
         """
-        self.config = config
+        self.config = config = config if config is not None else WorldConfig()
         self.telemetry = telemetry
+        #: out-of-band staging for collective values: the simulator moves
+        #: packet *sizes*, so reduction/broadcast payloads ride here,
+        #: keyed (context, collective-seq, sender, round).  Safe because
+        #: a value is published before its matching send is injected and
+        #: read only after the matching receive completes.
+        self.collective_board: Dict[tuple, object] = {}
         if telemetry is not None:
             self.engine = Engine(
                 tracer=telemetry.tracer,
@@ -234,6 +240,18 @@ class MpiWorld:
             hist(f"{self.fabric.name}/in_flight_samples"),
             series=f"{self.fabric.name}/in_flight",
         )
+        if self.fabric.topology.preset != "crossbar":
+            # routed presets share channels, so per-link utilization is
+            # the congestion signal worth windowing; the crossbar's
+            # dedicated wires skip this (and keep its pinned telemetry
+            # documents bit-identical to the pre-topology fabric)
+            for link in self.fabric.links:
+                probe.add(
+                    "network",
+                    f"{link.name}.utilization",
+                    (lambda lnk=link: lnk.utilization()),
+                    series=f"{link.name}/util",
+                )
         probe.add(
             "engine",
             "events",

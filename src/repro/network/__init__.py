@@ -1,13 +1,31 @@
-"""Network models: packets, point-to-point wires, and a simple fabric.
+"""Network models: packets, routed topologies, and a contended fabric.
 
 Table III specifies a 200 ns network wire latency; the paper's simulation
-adds "components representing a simple network".  We model a full-duplex
-fabric where each NIC has an injection port and packets arrive in order
-per (source, destination) pair -- the ordering MPI's matching semantics
-rely on.
+adds "components representing a simple network".  We model a routed
+fabric over a declarative :class:`Topology` (``crossbar`` / ``ring`` /
+``mesh2d`` / ``torus3d``): each NIC has an injection port, packets walk
+deterministic minimal routes over shared store-and-forward channels, and
+arrivals stay in order per (source, destination) pair -- the ordering
+MPI's matching semantics rely on.
 """
 
 from repro.network.packet import Packet, PacketKind, HEADER_BYTES
 from repro.network.fabric import Fabric, FabricConfig
+from repro.network.topology import (
+    TOPOLOGY_PRESETS,
+    Topology,
+    TopologyConfig,
+    balanced_dims,
+)
 
-__all__ = ["Packet", "PacketKind", "HEADER_BYTES", "Fabric", "FabricConfig"]
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "HEADER_BYTES",
+    "Fabric",
+    "FabricConfig",
+    "Topology",
+    "TopologyConfig",
+    "TOPOLOGY_PRESETS",
+    "balanced_dims",
+]

@@ -1,19 +1,41 @@
-"""A simple N-port network fabric.
+"""A routed, topology-aware network fabric.
 
-Every port pair is connected with the Table III wire: 200 ns latency, plus
-serialization at the injection link's bandwidth.  Packets between a given
-(source, destination) pair are delivered in injection order -- the network
-ordering guarantee that MPI's "messages between two nodes in the same
-context arrive in send order" semantics build on.
+The fabric is an injection front-end over a :class:`~repro.network.
+topology.Topology`: every directed physical channel of the topology is
+one shared, contended :class:`~repro.sim.link.Link` (Table III wire: 200
+ns head latency plus serialization at the channel's bandwidth), and a
+packet walks its deterministic minimal route hop by hop, store-and-
+forward -- it fully serializes onto each channel in turn, queueing
+behind whatever that channel is already carrying.
+
+The default ``crossbar`` preset dedicates one channel per (src, dst)
+pair and routes in a single hop, which reproduces the historical
+"one wire per pair" fabric bit for bit (pinned by the benchmark
+baseline).  The routed presets (``ring`` / ``mesh2d`` / ``torus3d``)
+share channels between pairs, so many-rank workloads finally see link
+contention and multi-hop distance.
+
+Ordering: routes are fixed per (src, dst) pair and each channel is FIFO
+under constant head latency, so packets between a given pair are
+delivered in injection order on *every* preset -- the network guarantee
+MPI's "messages arrive in send order" semantics build on (pinned by
+property test across presets).
+
+Faults: the optional :class:`FaultModel` is consulted once per hop --
+per link, not per packet -- so a longer route faces proportionally more
+exposure, exactly like a real multi-hop fabric.  On the single-hop
+crossbar this degenerates to the historical one-judgement-per-packet
+behaviour, keeping seeded fault runs bit-identical.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.faults import FaultModel, Verdict
 from repro.network.packet import Packet
+from repro.network.topology import Topology, TopologyConfig
 from repro.proc.params import NETWORK_WIRE_LATENCY_PS
 from repro.sim.component import Component
 from repro.sim.engine import Engine
@@ -23,31 +45,52 @@ from repro.sim.link import Link
 
 @dataclasses.dataclass(frozen=True)
 class FabricConfig:
-    """Latency/bandwidth of the interconnect."""
+    """Latency/bandwidth of the interconnect, and its shape."""
 
     wire_latency_ps: int = NETWORK_WIRE_LATENCY_PS
-    #: injection bandwidth; 0.002 bytes/ps = 2 GB/s (Red Storm class)
+    #: per-channel bandwidth; 0.002 bytes/ps = 2 GB/s (Red Storm class)
     bandwidth_bytes_per_ps: float = 0.002
+    #: which channels exist and how packets route over them
+    topology: TopologyConfig = dataclasses.field(default_factory=TopologyConfig)
+
+    def __post_init__(self) -> None:
+        if self.wire_latency_ps < 0:
+            raise ValueError(
+                f"wire_latency_ps must be >= 0, got {self.wire_latency_ps}"
+            )
+        if self.bandwidth_bytes_per_ps <= 0:
+            raise ValueError(
+                "bandwidth_bytes_per_ps must be > 0, got "
+                f"{self.bandwidth_bytes_per_ps}"
+            )
+
+    @staticmethod
+    def with_topology(preset: Optional[str]) -> "FabricConfig":
+        """Default wire parameters over ``preset`` (None = crossbar)."""
+        if preset is None:
+            return FabricConfig()
+        return FabricConfig(topology=TopologyConfig(preset=preset))
 
 
 class Fabric(Component):
-    """N nodes, each with an rx FIFO; per-source-pair ordered delivery."""
+    """N nodes, routed channels, per-source-pair ordered delivery."""
 
     def __init__(
         self,
         engine: Engine,
         num_nodes: int,
-        config: FabricConfig = FabricConfig(),
+        config: Optional[FabricConfig] = None,
         name: str = "fabric",
         faults: Optional[FaultModel] = None,
     ) -> None:
         super().__init__(engine, name)
         if num_nodes <= 0:
             raise ValueError(f"need at least one node, got {num_nodes}")
-        self.config = config
+        self.config = config = config if config is not None else FabricConfig()
         self.num_nodes = num_nodes
-        #: optional fault oracle; when None (or idle) injection is the
-        #: historical single-send path, bit-for-bit
+        self.topology = Topology.build(config.topology, num_nodes)
+        #: optional fault oracle, consulted once per hop; when None (or
+        #: idle) every hop is the historical single-send path, bit-for-bit
         self.faults = faults
         #: one receive FIFO per node; the NIC's Rx side drains it
         self.rx_fifos: List[Fifo] = [
@@ -57,55 +100,55 @@ class Fabric(Component):
         #: to the ALPU and their wakeup kick here)
         self._rx_callbacks: List[List] = [[] for _ in range(num_nodes)]
 
-        def _notify(dst: int, packet: Packet) -> None:
-            self.in_flight -= 1
-            for callback in self._rx_callbacks[dst]:
-                callback(packet)
-
-        # one link per (src, dst) pair: serialization happens at injection,
-        # so back-to-back sends between one pair queue behind each other
-        # while different sources can overlap (a crossbar-like fabric)
-        self._links: List[List[Link]] = [
-            [
-                Link(
-                    engine,
-                    f"{name}.wire{src}->{dst}",
-                    dest=self.rx_fifos[dst],
-                    latency_ps=config.wire_latency_ps,
-                    bandwidth_bytes_per_ps=config.bandwidth_bytes_per_ps,
-                    on_deliver=(lambda d: (lambda pkt: _notify(d, pkt)))(dst),
-                )
-                for dst in range(num_nodes)
-            ]
-            for src in range(num_nodes)
-        ]
+        # one shared Link per directed physical channel of the topology;
+        # the channel's receiving node either delivers (final hop) or
+        # forwards (store-and-forward onto the next channel)
+        self._links: Dict[Tuple[int, int], Link] = {}
+        for src, dst in self.topology.channels:
+            self._links[(src, dst)] = Link(
+                engine,
+                f"{name}.wire{src}->{dst}",
+                dest=None,
+                latency_ps=config.wire_latency_ps,
+                bandwidth_bytes_per_ps=config.bandwidth_bytes_per_ps,
+                on_deliver=(lambda hop: (lambda pkt: self._on_hop(hop, pkt)))(
+                    dst
+                ),
+            )
         self._seq: Dict[tuple, int] = {}
+        #: packets handed to :meth:`inject` (dropped ones included; a
+        #: duplicated packet counts once -- it was injected once)
+        self.packets_injected = 0
+        #: packets actually landed in a destination's rx FIFO (duplicates
+        #: count per landing; dropped packets never count)
         self.packets_delivered = 0
         #: packets committed to a wire but not yet delivered (duplicates
-        #: count twice, dropped packets never count) -- a plain counter
-        #: kept exact by :meth:`inject`/delivery, probed by the timeline
+        #: count twice, dropped packets leave the count) -- a plain
+        #: counter kept exact by inject/forward/delivery, probed by the
+        #: timeline
         self.in_flight = 0
-        # telemetry: totals as counters, per-link traffic/utilization as
-        # snapshot-time collectors over the Link objects' own tallies
+        # telemetry: totals as counters, per-channel traffic/utilization
+        # as snapshot-time collectors over the Link objects' own tallies
         registry = engine.metrics
         self._m_packets = registry.counter(f"{name}/packets")
+        self._m_delivered = registry.counter(f"{name}/packets_delivered")
         self._m_bytes = registry.counter(f"{name}/bytes")
+        self._m_forwards = registry.counter(f"{name}/hops_forwarded")
         self._m_dropped = registry.counter(f"{name}/faults_dropped")
         self._m_duplicated = registry.counter(f"{name}/faults_duplicated")
         self._m_delayed = registry.counter(f"{name}/faults_delayed")
         self._m_corrupted = registry.counter(f"{name}/faults_corrupted")
         if registry.enabled:
-            for src in range(num_nodes):
-                for dst in range(num_nodes):
-                    link = self._links[src][dst]
-                    registry.register_collector(
-                        f"{link.name}/bytes", lambda lnk=link: lnk.bytes_sent
-                    )
-                    registry.register_collector(
-                        f"{link.name}/utilization",
-                        lambda lnk=link: lnk.utilization(),
-                    )
+            for link in self._links.values():
+                registry.register_collector(
+                    f"{link.name}/bytes", lambda lnk=link: lnk.bytes_sent
+                )
+                registry.register_collector(
+                    f"{link.name}/utilization",
+                    lambda lnk=link: lnk.utilization(),
+                )
 
+    # ------------------------------------------------------------ injection
     def inject(self, packet: Packet) -> Packet:
         """Send a packet; returns the (sequence-stamped) packet injected."""
         if not 0 <= packet.src < self.num_nodes:
@@ -116,8 +159,9 @@ class Fabric(Component):
         seq = self._seq.get(key, 0)
         self._seq[key] = seq + 1
         stamped = dataclasses.replace(packet, seq=seq)
+        self.packets_injected += 1
         verdict = Verdict.DELIVER if self.faults is None else self.faults.judge(stamped)
-        link = self._links[packet.src][packet.dst]
+        link = self._links[(packet.src, self.topology.next_hop(packet.src, packet.dst))]
         if verdict is Verdict.DROP:
             # swallowed by the wire: no link traffic, no delivery.  The
             # sender's reliability layer (if any) recovers via timeout.
@@ -172,7 +216,6 @@ class Fabric(Component):
                     "bytes": stamped.wire_bytes,
                 },
             )
-        self.packets_delivered += 1
         self._m_packets.inc()
         self._m_bytes.inc(stamped.wire_bytes)
         tracer = self.engine.tracer
@@ -188,6 +231,89 @@ class Fabric(Component):
                 },
             )
         return stamped
+
+    # -------------------------------------------------------------- routing
+    def _on_hop(self, node: int, packet: Packet) -> None:
+        """A channel finished serializing ``packet`` into ``node``."""
+        if node == packet.dst:
+            self.rx_fifos[node].push(packet)
+            self._notify(node, packet)
+        else:
+            self._forward(node, packet)
+
+    def _forward(self, node: int, packet: Packet) -> None:
+        """Store-and-forward onto the next channel of the route.
+
+        Each hop faces the fault oracle independently (per-link faults):
+        a drop here strands the packet mid-route -- recovered, as at
+        injection, by the endpoints' reliability layer.
+        """
+        link = self._links[(node, self.topology.next_hop(node, packet.dst))]
+        verdict = Verdict.DELIVER if self.faults is None else self.faults.judge(packet)
+        self._m_forwards.inc()
+        if verdict is Verdict.DROP:
+            self.in_flight -= 1
+            self._m_dropped.inc()
+            lifecycle = self.engine.lifecycle
+            if lifecycle.enabled:
+                lifecycle.mark_uid(
+                    packet.send_id,
+                    "wire_drop",
+                    detail={
+                        "kind": packet.kind.name,
+                        "seq": packet.seq,
+                        "at_hop": node,
+                    },
+                )
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "network",
+                    f"{self.name}.fault_drop",
+                    {
+                        "kind": packet.kind.name,
+                        "src": packet.src,
+                        "dst": packet.dst,
+                        "at_hop": node,
+                    },
+                )
+            return
+        if verdict is Verdict.CORRUPT:
+            packet = dataclasses.replace(
+                packet, match_bits=self.faults.corrupt_bits(packet.match_bits)
+            )
+            self._m_corrupted.inc()
+        if verdict is Verdict.DELAY:
+            self._m_delayed.inc()
+            self.engine.schedule(
+                self.faults.config.reorder_delay_ps,
+                lambda p=packet: link.send(p, p.wire_bytes),
+            )
+        else:
+            link.send(packet, packet.wire_bytes)
+            if verdict is Verdict.DUPLICATE:
+                self._m_duplicated.inc()
+                self.in_flight += 1
+                link.send(packet, packet.wire_bytes)
+
+    def _notify(self, dst: int, packet: Packet) -> None:
+        self.in_flight -= 1
+        self.packets_delivered += 1
+        self._m_delivered.inc()
+        for callback in self._rx_callbacks[dst]:
+            callback(packet)
+
+    # -------------------------------------------------------------- surface
+    @property
+    def links(self) -> List[Link]:
+        """The physical channels (self-channels excluded), build order."""
+        return [
+            link for (u, v), link in self._links.items() if u != v
+        ]
+
+    def link(self, src: int, dst: int) -> Link:
+        """The channel from ``src`` to adjacent ``dst`` (KeyError if none)."""
+        return self._links[(src, dst)]
 
     def rx_fifo(self, node: int) -> Fifo:
         """The receive FIFO the NIC of ``node`` polls."""

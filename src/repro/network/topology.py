@@ -1,0 +1,291 @@
+"""Network topologies and deterministic minimal routing.
+
+The fabric historically wired every (src, dst) pair with a dedicated
+link -- a crossbar.  This module generalizes that into a declarative
+:class:`Topology`: a set of nodes, the directed physical channels that
+exist between them, and a deterministic minimal routing function
+(:meth:`Topology.next_hop`).  The fabric walks each packet hop by hop
+over *shared* channels, so multi-hop presets exhibit the link contention
+and distance effects a crossbar hides.
+
+Presets
+-------
+
+``crossbar``
+    One dedicated channel per ordered pair, one hop per packet -- the
+    historical fabric, bit-identical to the pre-topology code path.
+``ring``
+    Nodes on a cycle with ±1 channels; packets take the shorter way
+    around (ties break toward +1).
+``mesh2d``
+    A 2-D grid without wraparound; X-then-Y dimension-ordered routing.
+``torus3d``
+    A 3-D torus with wraparound channels and dimension-ordered routing
+    in the APEnet+ style (arXiv:1102.3796): correct dimension 0, then 1,
+    then 2, taking the shorter wrap direction (ties toward +1).
+
+Every route is *minimal* and *deterministic*: all packets of a (src,
+dst) pair follow one fixed path, so per-channel FIFO serialization
+preserves the per-pair in-order delivery MPI's matching semantics build
+on -- no adaptive routing, no out-of-order arrival without injected
+faults.
+
+Every preset also includes one self-channel (u, u) per node so rank-to-
+self traffic keeps the dedicated-wire behaviour of the crossbar.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Tuple
+
+#: the supported topology presets
+TOPOLOGY_PRESETS = ("crossbar", "ring", "mesh2d", "torus3d")
+
+#: grid dimensionality per preset (None = not grid-shaped)
+_GRID_NDIMS = {"ring": 1, "mesh2d": 2, "torus3d": 3}
+
+
+def _factorizations(n: int, k: int) -> Iterator[Tuple[int, ...]]:
+    """All ordered k-way factorizations of ``n`` (small n; exhaustive)."""
+    if k == 1:
+        yield (n,)
+        return
+    for d in range(1, n + 1):
+        if n % d == 0:
+            for rest in _factorizations(n // d, k - 1):
+                yield (d,) + rest
+
+
+def balanced_dims(num_nodes: int, ndims: int) -> Tuple[int, ...]:
+    """The most balanced ``ndims``-way factorization of ``num_nodes``.
+
+    Deterministic: among factorizations minimizing the extent spread the
+    lexicographically smallest wins (32 nodes in 3-D -> ``(2, 4, 4)``).
+    Prime counts degenerate gracefully (13 -> ``(1, 1, 13)``, a ring).
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"need at least one node, got {num_nodes}")
+    if ndims <= 0:
+        raise ValueError(f"need at least one dimension, got {ndims}")
+    return min(
+        _factorizations(num_nodes, ndims),
+        key=lambda dims: (max(dims) - min(dims), dims),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyConfig:
+    """Which topology a fabric builds.
+
+    ``dims`` applies to the grid presets only (``ring`` / ``mesh2d`` /
+    ``torus3d``); ``None`` auto-factors the node count into the most
+    balanced shape.  ``crossbar`` takes no dims.
+    """
+
+    preset: str = "crossbar"
+    dims: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.preset not in TOPOLOGY_PRESETS:
+            raise ValueError(
+                f"unknown topology preset {self.preset!r}; "
+                f"expected one of {TOPOLOGY_PRESETS}"
+            )
+        if self.dims is not None:
+            dims = tuple(int(d) for d in self.dims)
+            if not dims or any(d <= 0 for d in dims):
+                raise ValueError(f"dims must be positive, got {self.dims}")
+            ndims = _GRID_NDIMS.get(self.preset)
+            if ndims is None:
+                raise ValueError(f"preset {self.preset!r} takes no dims")
+            if len(dims) != ndims:
+                raise ValueError(
+                    f"preset {self.preset!r} needs {ndims} dims, got {dims}"
+                )
+            # normalize (JSON round-trips deliver lists)
+            object.__setattr__(self, "dims", dims)
+
+
+class Topology:
+    """Nodes, directed channels, and deterministic minimal routing."""
+
+    def __init__(
+        self,
+        preset: str,
+        num_nodes: int,
+        dims: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        if preset not in TOPOLOGY_PRESETS:
+            raise ValueError(f"unknown topology preset {preset!r}")
+        if num_nodes <= 0:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        self.preset = preset
+        self.num_nodes = num_nodes
+        ndims = _GRID_NDIMS.get(preset)
+        if ndims is None:
+            self.dims: Optional[Tuple[int, ...]] = None
+        elif dims is None:
+            self.dims = balanced_dims(num_nodes, ndims)
+        else:
+            product = 1
+            for d in dims:
+                product *= d
+            if product != num_nodes:
+                raise ValueError(
+                    f"dims {dims} hold {product} nodes, fabric has {num_nodes}"
+                )
+            self.dims = tuple(dims)
+        #: wraparound channels? (mesh2d is the only open grid)
+        self.wrap = preset in ("ring", "torus3d")
+        #: every directed channel, in deterministic build order: for the
+        #: crossbar, (src-major, dst-minor) exactly as the historical
+        #: fabric built its wires; for grids, per-node self-channel then
+        #: sorted neighbours
+        self.channels: List[Tuple[int, int]] = self._build_channels()
+
+    @staticmethod
+    def build(config: TopologyConfig, num_nodes: int) -> "Topology":
+        """A topology instance for ``config`` over ``num_nodes`` nodes."""
+        return Topology(config.preset, num_nodes, config.dims)
+
+    # -------------------------------------------------------------- geometry
+    def coords(self, node: int) -> Tuple[int, ...]:
+        """Grid coordinates of ``node`` (dim 0 fastest-varying)."""
+        if self.dims is None:
+            raise ValueError(f"{self.preset} topology has no grid coordinates")
+        out = []
+        for extent in self.dims:
+            out.append(node % extent)
+            node //= extent
+        return tuple(out)
+
+    def index(self, coords: Tuple[int, ...]) -> int:
+        """Inverse of :meth:`coords`."""
+        if self.dims is None:
+            raise ValueError(f"{self.preset} topology has no grid coordinates")
+        node = 0
+        stride = 1
+        for c, extent in zip(coords, self.dims):
+            node += (c % extent) * stride
+            stride *= extent
+        return node
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Physical out-neighbours of ``node`` (sorted, self excluded)."""
+        if self.preset == "crossbar":
+            return tuple(n for n in range(self.num_nodes) if n != node)
+        found = set()
+        coords = self.coords(node)
+        for axis, extent in enumerate(self.dims):
+            if extent <= 1:
+                continue
+            for step in (1, -1):
+                c = list(coords)
+                if self.wrap:
+                    c[axis] = (coords[axis] + step) % extent
+                else:
+                    c[axis] = coords[axis] + step
+                    if not 0 <= c[axis] < extent:
+                        continue
+                peer = self.index(tuple(c))
+                if peer != node:
+                    found.add(peer)
+        return tuple(sorted(found))
+
+    def _build_channels(self) -> List[Tuple[int, int]]:
+        if self.preset == "crossbar":
+            return [
+                (src, dst)
+                for src in range(self.num_nodes)
+                for dst in range(self.num_nodes)
+            ]
+        channels: List[Tuple[int, int]] = []
+        for node in range(self.num_nodes):
+            channels.append((node, node))
+            channels.extend((node, peer) for peer in self.neighbors(node))
+        return channels
+
+    # --------------------------------------------------------------- routing
+    def _axis_step(self, axis: int, here: int, there: int) -> int:
+        """±1 toward ``there`` along ``axis`` (shorter way; ties -> +1)."""
+        extent = self.dims[axis]
+        if not self.wrap:
+            return 1 if there > here else -1
+        forward = (there - here) % extent
+        backward = (here - there) % extent
+        return 1 if forward <= backward else -1
+
+    def next_hop(self, node: int, dst: int) -> int:
+        """The deterministic next node on the minimal route to ``dst``.
+
+        Dimension-ordered: the first unequal coordinate (lowest axis
+        first) is corrected before any later one, so every (src, dst)
+        pair uses one fixed path -- the APEnet+ discipline that keeps
+        multi-hop delivery reordering-free.
+        """
+        if node == dst:
+            return node
+        if self.preset == "crossbar":
+            return dst
+        here = self.coords(node)
+        there = self.coords(dst)
+        for axis in range(len(self.dims)):
+            if here[axis] != there[axis]:
+                step = self._axis_step(axis, here[axis], there[axis])
+                moved = list(here)
+                moved[axis] = (here[axis] + step) % self.dims[axis]
+                return self.index(tuple(moved))
+        raise AssertionError(f"no route progress from {node} to {dst}")
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Nodes visited after ``src``, ending at ``dst`` (self: one hop)."""
+        if src == dst:
+            return [dst]
+        path = []
+        node = src
+        while node != dst:
+            node = self.next_hop(node, dst)
+            path.append(node)
+            if len(path) > self.num_nodes:
+                raise AssertionError(f"routing loop from {src} to {dst}")
+        return path
+
+    def min_hops(self, src: int, dst: int) -> int:
+        """Length of a shortest path (routes are pinned minimal by test)."""
+        if src == dst:
+            return 1
+        if self.preset == "crossbar":
+            return 1
+        total = 0
+        here, there = self.coords(src), self.coords(dst)
+        for axis, extent in enumerate(self.dims):
+            forward = (there[axis] - here[axis]) % extent
+            if self.wrap:
+                total += min(forward, extent - forward)
+            else:
+                total += abs(there[axis] - here[axis])
+        return total
+
+    def diameter(self) -> int:
+        """Worst-case hop count between distinct nodes."""
+        if self.num_nodes == 1:
+            return 0
+        if self.preset == "crossbar":
+            return 1
+        return max(
+            self.min_hops(0, dst) for dst in range(1, self.num_nodes)
+        )
+
+    def describe(self) -> str:
+        """One human-readable line (examples / reports)."""
+        if self.dims is None:
+            return f"{self.preset} over {self.num_nodes} nodes"
+        shape = "x".join(str(d) for d in self.dims)
+        return (
+            f"{self.preset} {shape} over {self.num_nodes} nodes, "
+            f"diameter {self.diameter()}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Topology {self.describe()}>"

@@ -63,11 +63,13 @@ class AlpuDevice(Component):
         engine: Engine,
         name: str,
         config: AlpuConfig,
-        timing: AlpuTimingModel = AlpuTimingModel(),
+        timing: Optional[AlpuTimingModel] = None,
         bus_latency_ps: int = NIC_BUS_LATENCY_PS,
-        fault: AlpuFaultConfig = AlpuFaultConfig(),
+        fault: Optional[AlpuFaultConfig] = None,
     ) -> None:
         super().__init__(engine, name)
+        timing = timing if timing is not None else AlpuTimingModel()
+        fault = fault if fault is not None else AlpuFaultConfig()
         self.alpu = Alpu(config, metrics=engine.metrics, name=name)
         self.timing = timing
         self.bus_latency_ps = bus_latency_ps

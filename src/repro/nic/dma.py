@@ -40,10 +40,10 @@ class DmaEngine(Component):
         self,
         engine: Engine,
         name: str,
-        config: DmaConfig = DmaConfig(),
+        config: Optional[DmaConfig] = None,
     ) -> None:
         super().__init__(engine, name)
-        self.config = config
+        self.config = config if config is not None else DmaConfig()
         self._busy_until = 0
         #: pulses on every completed transfer
         self.done = Signal(f"{name}.done")

@@ -78,13 +78,13 @@ class AlpuQueueDriver:
         queue: NicQueue,
         proc: Processor,
         cost: NicCostModel,
-        config: DriverConfig = DriverConfig(),
+        config: Optional[DriverConfig] = None,
     ) -> None:
         self.device = device
         self.queue = queue
         self.proc = proc
         self.cost = cost
-        self.config = config
+        self.config = config = config if config is not None else DriverConfig()
         #: match responses drained while waiting for a START ACKNOWLEDGE
         self._buffered: Deque[Response] = deque()
         #: 16-bit hardware tags in flight -> queue entries

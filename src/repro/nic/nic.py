@@ -121,12 +121,12 @@ class Nic(Component):
         node_id: int,
         fabric: Fabric,
         host_completion_fifo: Fifo,
-        config: NicConfig = NicConfig(),
+        config: Optional[NicConfig] = None,
     ) -> None:
         super().__init__(engine, f"nic{node_id}")
         self.node_id = node_id
         self.fabric = fabric
-        self.config = config
+        self.config = config = config if config is not None else NicConfig()
         self.cost = config.cost
         self.proc = Processor(
             engine, f"{self.name}.proc", NIC_PARAMS.clock_hz, make_nic_memory()

@@ -20,6 +20,10 @@ class Link(Component):
 
     Parameters
     ----------
+    dest:
+        Destination FIFO, or ``None`` for a routed channel whose
+        ``on_deliver`` hook decides where the message lands (the
+        topology-aware fabric forwards or delivers per packet).
     latency_ps:
         Head latency for every message.
     bandwidth_bytes_per_ps:
@@ -34,7 +38,7 @@ class Link(Component):
         self,
         engine: Engine,
         name: str,
-        dest: Fifo,
+        dest: Optional[Fifo],
         latency_ps: int,
         *,
         bandwidth_bytes_per_ps: Optional[float] = None,
@@ -80,6 +84,7 @@ class Link(Component):
         return self.busy_ps / self.now if self.now else 0.0
 
     def _deliver(self, message: Any) -> None:
-        self.dest.push(message)
+        if self.dest is not None:
+            self.dest.push(message)
         if self.on_deliver is not None:
             self.on_deliver(message)

@@ -8,6 +8,9 @@
 * :mod:`repro.workloads.unexpected` -- the unexpected-message-queue
   benchmark of [10]: queue length and message size, with the time to post
   the measuring receive *included* in the latency.  Regenerates Figure 6.
+* :mod:`repro.workloads.halo` -- many-rank nearest-neighbour halo
+  exchange plus a per-iteration allreduce, the workload that exercises
+  the routed topologies (ring/mesh2d/torus3d) beyond two ranks.
 * :mod:`repro.workloads.sweep` -- the generic grid-sweep executor:
   declarative :class:`~repro.workloads.sweep.SweepSpec` grids, optional
   process fan-out, content-hash result caching, plus the configuration
@@ -16,6 +19,7 @@
   ``sweep_unexpected`` helpers, now thin wrappers over the executor.
 """
 
+from repro.workloads.halo import HaloParams, HaloResult, run_halo
 from repro.workloads.pingpong import PingPongParams, run_pingpong
 from repro.workloads.preposted import PrepostedParams, PrepostedResult, run_preposted
 from repro.workloads.unexpected import (
@@ -38,6 +42,9 @@ from repro.workloads.runner import (
 )
 
 __all__ = [
+    "HaloParams",
+    "HaloResult",
+    "run_halo",
     "PingPongParams",
     "run_pingpong",
     "PrepostedParams",

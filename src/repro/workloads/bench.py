@@ -72,6 +72,31 @@ GRID: Tuple[Tuple[str, str, Dict[str, object]], ...] = (
     ("unexpected", "baseline", {"queue_length": 16, "iterations": 4, "warmup": 1}),
     ("unexpected", "hash", {"queue_length": 16, "iterations": 4, "warmup": 1}),
     ("unexpected", "alpu128", {"queue_length": 16, "iterations": 4, "warmup": 1}),
+    # the topology axes: the same 16-rank halo exchange on the dedicated-
+    # wire crossbar and the routed torus pins both the collective
+    # schedules and the dimension-ordered router
+    (
+        "halo",
+        "alpu128",
+        {
+            "ranks": 16,
+            "topology": "crossbar",
+            "message_size": 512,
+            "iterations": 3,
+            "warmup": 1,
+        },
+    ),
+    (
+        "halo",
+        "alpu128",
+        {
+            "ranks": 16,
+            "topology": "torus3d",
+            "message_size": 512,
+            "iterations": 3,
+            "warmup": 1,
+        },
+    ),
 )
 
 
@@ -86,6 +111,7 @@ def _point_id(benchmark: str, preset: str, params: Dict[str, object]) -> str:
 def run_grid() -> List[Dict[str, object]]:
     """Run every grid point with the self-profiler on; returns records."""
     from repro.obs.telemetry import Telemetry
+    from repro.workloads.halo import HaloParams, run_halo
     from repro.workloads.preposted import PrepostedParams, run_preposted
     from repro.workloads.sweep import nic_preset
     from repro.workloads.unexpected import UnexpectedParams, run_unexpected
@@ -98,6 +124,8 @@ def run_grid() -> List[Dict[str, object]]:
             result = run_preposted(
                 nic, PrepostedParams(**params), telemetry=bundle
             )
+        elif benchmark == "halo":
+            result = run_halo(nic, HaloParams(**params), telemetry=bundle)
         else:
             result = run_unexpected(
                 nic, UnexpectedParams(**params), telemetry=bundle

@@ -47,7 +47,7 @@ class PingPongResult:
 
 def run_pingpong(
     nic: NicConfig,
-    params: PingPongParams = PingPongParams(),
+    params: Optional[PingPongParams] = None,
     *,
     telemetry=None,
 ) -> PingPongResult:
@@ -56,7 +56,7 @@ def run_pingpong(
     ``telemetry``: optional :class:`repro.obs.Telemetry`; enables metrics
     and tracing for the run without perturbing its simulated latencies.
     """
-
+    params = params if params is not None else PingPongParams()
     total = params.warmup + params.iterations
 
     def rank0(mpi):

@@ -36,6 +36,7 @@ import statistics
 from typing import Dict, List, Optional
 
 from repro.mpi.world import MpiWorld, WorldConfig
+from repro.network.fabric import FabricConfig
 from repro.network.faults import FaultConfig
 from repro.nic.nic import NicConfig
 from repro.sim.process import now
@@ -92,6 +93,7 @@ def run_preposted(
     *,
     telemetry=None,
     faults: Optional[FaultConfig] = None,
+    topology: Optional[str] = None,
 ) -> PrepostedResult:
     """Run one (queue length, fraction, size) point on a 2-rank system.
 
@@ -101,6 +103,10 @@ def run_preposted(
 
     ``faults``: optional seeded fabric fault injection; pair it with a
     reliability-enabled ``nic`` so dropped packets are retransmitted.
+
+    ``topology``: fabric preset name (default ``crossbar``); on two
+    nodes every preset routes in one hop, so this is a plumbing check
+    more than a performance axis.
     """
 
     total_iters = params.warmup + params.iterations
@@ -180,7 +186,13 @@ def run_preposted(
         return None
 
     world = MpiWorld(
-        WorldConfig(num_ranks=2, nic=nic, faults=faults), telemetry=telemetry
+        WorldConfig(
+            num_ranks=2,
+            nic=nic,
+            fabric=FabricConfig.with_topology(topology),
+            faults=faults,
+        ),
+        telemetry=telemetry,
     )
     results = world.run({0: sender_program, 1: receiver})
     samples, traversed = results[1]

@@ -36,6 +36,7 @@ from repro.network.faults import FaultConfig
 from repro.nic.nic import NicConfig
 from repro.nic.reliability import ReliabilityConfig
 from repro.obs.telemetry import Telemetry
+from repro.workloads.halo import HaloParams, run_halo
 from repro.workloads.preposted import PrepostedParams, run_preposted
 from repro.workloads.unexpected import UnexpectedParams, run_unexpected
 
@@ -98,6 +99,23 @@ class UnexpectedRow:
     health: Optional[Dict[str, object]] = None
 
 
+@dataclasses.dataclass
+class HaloRow:
+    """One point of a topology-comparison surface."""
+
+    preset: str
+    ranks: int
+    topology: str
+    message_size: int
+    latency_ns: float
+    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
+    metrics: Optional[Dict[str, object]] = None
+    #: per-stage latency attribution (sweeps with ``lifecycle=True`` only)
+    attribution: Optional[Dict[str, object]] = None
+    #: watchdog verdict+findings (``telemetry=True`` sweeps only)
+    health: Optional[Dict[str, object]] = None
+
+
 @dataclasses.dataclass(frozen=True)
 class _Benchmark:
     """How one benchmark plugs into the generic executor."""
@@ -121,6 +139,12 @@ BENCHMARKS: Dict[str, _Benchmark] = {
         row_cls=UnexpectedRow,
         runner=run_unexpected,
         row_fields=("queue_length", "message_size"),
+    ),
+    "halo": _Benchmark(
+        params_cls=HaloParams,
+        row_cls=HaloRow,
+        runner=run_halo,
+        row_fields=("ranks", "topology", "message_size"),
     ),
 }
 
@@ -148,6 +172,10 @@ class SweepSpec:
     #: seeded fabric fault injection; setting it also enables the NIC
     #: reliability layer on every point (retransmission under loss)
     faults: Optional[FaultConfig] = None
+    #: fabric topology preset for benchmarks that don't carry one in
+    #: their params (``None`` keeps the crossbar default); the halo
+    #: benchmark sweeps topology as a normal parameter axis instead
+    topology: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.benchmark not in BENCHMARKS:
@@ -215,6 +243,37 @@ class SweepSpec:
             faults=faults,
         )
 
+    @staticmethod
+    def halo(
+        presets: Sequence[str],
+        ranks: Iterable[int],
+        topologies: Iterable[str] = ("crossbar", "torus3d"),
+        *,
+        message_size: int = 512,
+        iterations: int = 3,
+        warmup: int = 1,
+        telemetry: bool = False,
+        lifecycle: bool = False,
+        faults: Optional[FaultConfig] = None,
+    ) -> "SweepSpec":
+        """The topology-comparison grid: preset x ranks x topology."""
+        return SweepSpec(
+            benchmark="halo",
+            presets=tuple(presets),
+            axes=(
+                ("ranks", tuple(ranks)),
+                ("topology", tuple(topologies)),
+            ),
+            fixed=(
+                ("message_size", message_size),
+                ("iterations", iterations),
+                ("warmup", warmup),
+            ),
+            telemetry=telemetry,
+            lifecycle=lifecycle,
+            faults=faults,
+        )
+
     # --------------------------------------------------------------- points
     def points(self) -> List[Tuple[str, Dict[str, object]]]:
         """Expand the grid into ``(preset, params kwargs)`` pairs.
@@ -235,8 +294,9 @@ class SweepSpec:
 
 #: bump when row semantics change, so stale cache files never resurface
 #: (2: rows gained the ``attribution`` field; 3: keys gained ``faults``;
-#: 4: rows gained the ``health`` field, telemetry runs grew timelines)
-CACHE_VERSION = 4
+#: 4: rows gained the ``health`` field, telemetry runs grew timelines;
+#: 5: keys gained ``topology``, the halo benchmark landed)
+CACHE_VERSION = 5
 
 
 class SweepCache:
@@ -276,6 +336,7 @@ class SweepCache:
             "faults": (
                 dataclasses.asdict(spec.faults) if spec.faults is not None else None
             ),
+            "topology": spec.topology,
             "params": {name: params[name] for name in sorted(params)},
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -339,7 +400,11 @@ def run_point(
         else None
     )
     result = bench.runner(
-        nic, bench.params_cls(**params), telemetry=bundle, faults=spec.faults
+        nic,
+        bench.params_cls(**params),
+        telemetry=bundle,
+        faults=spec.faults,
+        topology=spec.topology,
     )
     attribution = None
     if spec.lifecycle:
@@ -447,6 +512,17 @@ def _smoke() -> None:
         f"f={row.traverse_fraction} -> {row.latency_ns:.1f} ns "
         "(serial == parallel == cached)"
     )
+    halo_spec = SweepSpec.halo(
+        ("alpu128",), (8,), ("crossbar", "torus3d"), iterations=2, warmup=1
+    )
+    halo_serial = run_sweep(halo_spec)
+    halo_parallel = run_sweep(halo_spec, workers=2)
+    assert halo_serial == halo_parallel, (halo_serial, halo_parallel)
+    for row in halo_serial:
+        print(
+            f"sweep smoke OK: halo {row.preset} ranks={row.ranks} "
+            f"{row.topology} -> {row.latency_ns:.1f} ns (serial == parallel)"
+        )
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ import statistics
 from typing import Dict, List, Optional
 
 from repro.mpi.world import MpiWorld, WorldConfig
+from repro.network.fabric import FabricConfig
 from repro.network.faults import FaultConfig
 from repro.nic.nic import NicConfig
 from repro.sim.process import now
@@ -91,6 +92,7 @@ def run_unexpected(
     *,
     telemetry=None,
     faults: Optional[FaultConfig] = None,
+    topology: Optional[str] = None,
 ) -> UnexpectedResult:
     """Run one (queue length, size) point on a 2-rank system.
 
@@ -100,6 +102,10 @@ def run_unexpected(
 
     ``faults``: optional seeded fabric fault injection; pair it with a
     reliability-enabled ``nic`` so dropped packets are retransmitted.
+
+    ``topology``: fabric preset name (default ``crossbar``); on two
+    nodes every preset routes in one hop, so this is a plumbing check
+    more than a performance axis.
     """
 
     total_iters = params.warmup + params.iterations
@@ -177,7 +183,13 @@ def run_unexpected(
         return samples, traversed
 
     world = MpiWorld(
-        WorldConfig(num_ranks=2, nic=nic, faults=faults), telemetry=telemetry
+        WorldConfig(
+            num_ranks=2,
+            nic=nic,
+            fabric=FabricConfig.with_topology(topology),
+            faults=faults,
+        ),
+        telemetry=telemetry,
     )
     results = world.run({0: sender, 1: receiver})
     samples, traversed = results[1]

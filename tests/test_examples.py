@@ -57,3 +57,12 @@ def test_queue_depth_study_fast_runs(capsys):
     output = capsys.readouterr().out
     assert "break-even at" in output
     assert "cache knee" in output
+
+
+def test_topology_halo_runs(capsys):
+    run_example("topology_halo")
+    output = capsys.readouterr().out
+    assert "crossbar over 16 nodes" in output
+    assert "torus3d 2x2x4 over 16 nodes" in output
+    assert "health: healthy" in output
+    assert "mean utilization" in output

@@ -134,7 +134,13 @@ class Alpu:
     ) -> None:
         self.config = config = config if config is not None else AlpuConfig()
         self.blocks: List[CellBlock] = [
-            CellBlock(config.kind, config.block_size, index=i)
+            CellBlock(
+                config.kind,
+                config.block_size,
+                index=i,
+                match_width=config.match_width,
+                tag_width=config.tag_width,
+            )
             for i in range(config.num_blocks)
         ]
         self.mode = AlpuMode.MATCH
@@ -182,16 +188,21 @@ class Alpu:
     def entries(self) -> List[MatchEntry]:
         """Stored entries in priority (oldest-first) order, skipping holes."""
         ordered: List[MatchEntry] = []
+        size = self.config.block_size
         for block in reversed(self.blocks):
-            for cell in reversed(block.cells):
-                snap = cell.snapshot()
+            for local in range(size - 1, -1, -1):
+                snap = block.entry_at(local)
                 if snap is not None:
                     ordered.append(snap)
         return ordered
 
     def _cell(self, global_index: int) -> Cell:
-        block, local = divmod(global_index, self.config.block_size)
-        return self.blocks[block].cells[local]
+        """Materialized snapshot of one cell (tests/diagnostics only --
+        the packed state in :class:`CellBlock` is the model of record)."""
+        block_index, local = divmod(global_index, self.config.block_size)
+        block = self.blocks[block_index]
+        bits, mask, tag, valid = block.cell_tuple(local)
+        return Cell(block.kind, bits=bits, mask=mask, tag=tag, valid=valid)
 
     # =============================================================== headers
     def present_header(self, request: MatchRequest) -> List[Response]:
@@ -268,9 +279,7 @@ class Alpu:
         size = self.config.block_size
         for current in range(block_index, -1, -1):
             through = local_location if current == block_index else size - 1
-            incoming = (
-                self.blocks[current - 1].cells[size - 1] if current > 0 else None
-            )
+            incoming = self.blocks[current - 1].top_cell() if current > 0 else None
             self.blocks[current].shift_up_through(through, incoming)
 
     # ============================================================== commands
@@ -322,8 +331,7 @@ class Alpu:
         preserving one-response-per-header.
         """
         for block in self.blocks:
-            for cell in block.cells:
-                cell.clear()
+            block.clear_valid()
         self.mode = AlpuMode.MATCH
         self.stats.resets += 1
         self._m_resets.inc()
@@ -342,7 +350,8 @@ class Alpu:
         # the insert point is the youngest cell; if occupied, compaction
         # must first migrate a hole down to it (each step is one clock)
         stall = 0
-        while self._cell(0).valid:
+        youngest = self.blocks[0]
+        while youngest.bottom_valid:
             if not self.compact_step():
                 raise AlpuError("compaction cannot free the insert cell")
             stall += 1
@@ -351,7 +360,7 @@ class Alpu:
         entry = MatchEntry(
             bits=command.match_bits, mask=command.mask_bits, tag=command.tag
         )
-        self._cell(0).load(entry)
+        youngest.load(0, entry)
         self.stats.inserts += 1
         self._m_inserts.inc()
         if self._g_occupancy.enabled:
@@ -380,20 +389,31 @@ class Alpu:
             return self._compact_step_global()
         return self._compact_step_block()
 
+    @staticmethod
+    def _lowest_hole_with_valid_below(valid_mask: int) -> int:
+        """Lowest bit position that is 0 with any 1 strictly below it.
+
+        Bit tricks over the valid bitmask: positions below the lowest
+        valid bit are holes with nothing beneath them, so the answer is
+        the lowest zero above the lowest one.  Returns a position past
+        the mask's width when the valid run is hole-free (callers bound
+        it); must not be called with an empty mask.
+        """
+        lowest_valid = (valid_mask & -valid_mask).bit_length() - 1
+        above = valid_mask >> lowest_valid
+        return lowest_valid + (~above & (above + 1)).bit_length() - 1
+
     def _compact_step_global(self) -> bool:
-        total = self.capacity
-        # find the globally lowest hole with valid data below it
-        hole = None
-        seen_valid_below = False
-        for index in range(total):
-            if self._cell(index).valid:
-                seen_valid_below = True
-            elif seen_valid_below:
-                hole = index
-                break
-        if hole is None:
-            return False
         size = self.config.block_size
+        # find the globally lowest hole with valid data below it
+        combined = 0
+        for block_index, block in enumerate(self.blocks):
+            combined |= block.valid_mask << (block_index * size)
+        if not combined:
+            return False
+        hole = self._lowest_hole_with_valid_below(combined)
+        if hole >= self.capacity:
+            return False
         block_index, local = divmod(hole, size)
         self._delete_like_shift(block_index, local)
         return True
@@ -401,26 +421,21 @@ class Alpu:
     def _compact_step_block(self) -> bool:
         size = self.config.block_size
         blocks = self.blocks
-        start_valid = [[cell.valid for cell in block.cells] for block in blocks]
+        count = len(blocks)
+        start_valid = [block.valid_mask for block in blocks]
 
         FULL = -1
         plans: List[Optional[int]] = []
-        for index, block in enumerate(blocks):
+        for index in range(count):
+            valid_mask = start_valid[index]
             plan: Optional[int] = None
-            next_bottom_empty = (
-                index + 1 < len(blocks) and not start_valid[index + 1][0]
-            )
-            if next_bottom_empty and any(start_valid[index]):
-                plan = FULL
-            else:
-                hole = None
-                for position in range(size):
-                    if not start_valid[index][position]:
-                        if any(start_valid[index][:position]):
-                            hole = position
-                            break
-                if hole is not None:
-                    plan = hole
+            if valid_mask:
+                if index + 1 < count and not start_valid[index + 1] & 1:
+                    plan = FULL
+                else:
+                    hole = self._lowest_hole_with_valid_below(valid_mask)
+                    if hole < size:
+                        plan = hole
             plans.append(plan)
 
         if all(plan is None for plan in plans):
@@ -428,17 +443,17 @@ class Alpu:
 
         # apply oldest-first so each block reads its younger neighbour's
         # cycle-start top cell before that neighbour shifts
-        for index in range(len(blocks) - 1, -1, -1):
+        for index in range(count - 1, -1, -1):
             plan = plans[index]
-            incoming: Optional[Cell] = None
+            incoming = None
             if index > 0 and plans[index - 1] == FULL:
-                incoming = blocks[index - 1].cells[size - 1]
+                incoming = blocks[index - 1].top_cell()
             if plan == FULL:
                 blocks[index].shift_up_through(size - 1, incoming)
             elif plan is not None:
                 blocks[index].shift_up_through(plan, incoming)
             elif incoming is not None:
-                blocks[index].cells[0].copy_from(incoming)
+                blocks[index].set_bottom(incoming)
         # a FULL block's top was consumed by its older neighbour's cell 0;
         # shift_up_through already rewrote every cell it owned, and the
         # incoming latch above completes the cross-block move, so nothing
@@ -449,9 +464,7 @@ class Alpu:
         size = self.config.block_size
         for current in range(block_index, -1, -1):
             through = local_location if current == block_index else size - 1
-            incoming = (
-                self.blocks[current - 1].cells[size - 1] if current > 0 else None
-            )
+            incoming = self.blocks[current - 1].top_cell() if current > 0 else None
             self.blocks[current].shift_up_through(through, incoming)
 
     # ============================================================ validation

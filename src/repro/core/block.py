@@ -1,4 +1,4 @@
-"""A block of cells (Figure 2c).
+"""A block of cells (Figure 2c), vectorized.
 
 A cell block groups ``2^k`` cells and contains
 
@@ -15,9 +15,55 @@ and has the highest priority, because MPI requires the *first* matching
 item in list order to win.
 
 The block size must be a power of two "to simplify the task of prioritizing
-the correct tag and generating a correct match location"; the mux tree here
-is written exactly as that ``log2(size)``-level binary tree so that the
-encoding logic the paper describes is what actually runs.
+the correct tag and generating a correct match location"; the mux tree is
+kept here as :func:`priority_select`, written exactly as that
+``log2(size)``-level binary tree so the encoding logic the paper describes
+stays executable and testable.
+
+Data layout (SWAR)
+------------------
+The hardware evaluates every cell in a block *in parallel* -- it is a
+ternary CAM slice, the same wide bitline-parallel structure as a
+bitline-compute SRAM.  The simulator mirrors that with packed-integer
+SWAR (SIMD-within-a-register) state instead of per-cell objects:
+
+``_bits`` / ``_mask``
+    One Python big-int each, one *lane* per cell at stride
+    ``S = match_width + 1``.  The extra top bit per lane is a **guard
+    bit** that is always 0 in stored data; it gives lane arithmetic a
+    place to borrow/carry without crossing into the neighbour lane.
+``_tags``
+    Tags packed at stride ``tag_width`` (no guard needed -- tags are
+    only ever shifted and extracted, never compared arithmetically).
+``_valid_mask`` / ``_valid_guard``
+    The valid bits, kept in two synchronized encodings: bit ``i`` per
+    lane (for occupancy, holes and compaction planning) and bit
+    ``i*S + match_width`` (guard position, for ANDing into the match
+    result).
+
+One block-wide match is then five big-int operations (`Figure 2c`'s
+compare plane) plus one ``bit_length`` (the priority encoder)::
+
+    x     = (bits ^ repl(req)) & ~(mask | repl(req_mask)) & LANES
+    hit   = (HIGH - x) & valid_guard      # guard set <=> lane x == 0
+    loc   = (hit.bit_length() - 1 - w) // S
+
+``repl(v) = v * COMB`` replicates a ``w``-bit value into every lane
+(``COMB`` has one LSB set per lane).  ``HIGH - x`` cannot borrow across
+lanes because each lane's minuend ``2^w`` exceeds any ``w``-bit ``x``
+lane; the difference's guard bit survives exactly when the lane was
+zero, i.e. when every un-masked bit compared equal.  The highest set
+guard bit is the oldest matching cell -- the same answer as the
+priority-mux tree, which the property tests in
+``tests/core/test_block.py`` and ``tests/core/test_vectorized_block.py``
+hold equal cell-for-cell against :func:`priority_select` and the
+per-cell :class:`~repro.core.cell.Cell` object model.
+
+Invalid lanes keep their stale contents (hardware clears only the valid
+bit), so shifted-out data reappearing at the bottom of a block behaves
+exactly like the object model's ``copy_from``/``clear`` semantics --
+including the quirk that a failed match reports lane 0's (possibly
+stale) tag.
 """
 
 from __future__ import annotations
@@ -25,7 +71,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.cell import Cell, CellKind
-from repro.core.match import MatchRequest
+from repro.core.match import MatchEntry, MatchRequest
+
+#: a cell snapshot travelling between blocks: (bits, mask, tag, valid)
+CellTuple = Tuple[int, int, int, bool]
 
 
 def priority_select(
@@ -73,48 +122,188 @@ def priority_select(
 
 
 class CellBlock:
-    """A power-of-two group of cells with priority and flow control."""
+    """A power-of-two group of cells with priority and flow control.
 
-    def __init__(self, kind: CellKind, size: int, index: int = 0) -> None:
+    State is the packed-integer SWAR layout described in the module
+    docstring; :meth:`snapshot_cells` materializes per-cell
+    :class:`~repro.core.cell.Cell` objects when tests or diagnostics want
+    the object view.
+    """
+
+    def __init__(
+        self,
+        kind: CellKind,
+        size: int,
+        index: int = 0,
+        *,
+        match_width: int = 42,
+        tag_width: int = 16,
+    ) -> None:
         if size <= 0 or size & (size - 1):
             raise ValueError(f"block size must be a power of two, got {size}")
+        if match_width <= 0 or tag_width <= 0:
+            raise ValueError(
+                f"widths must be positive: match={match_width} tag={tag_width}"
+            )
         self.kind = kind
         self.size = size
         #: position of this block within the ALPU chain (0 = youngest end)
         self.index = index
-        self.cells: List[Cell] = [Cell(kind) for _ in range(size)]
+        self.match_width = match_width
+        self.tag_width = tag_width
+        # ------------------------------------------- SWAR lane constants
+        w = match_width
+        s = w + 1
+        self._w = w
+        self._s = s
+        self._t = tag_width
+        #: single-lane value mask / tag mask
+        self._lane = (1 << w) - 1
+        self._tag_mask = (1 << tag_width) - 1
+        #: one LSB per lane: multiplying by this replicates a lane value
+        self._comb = sum(1 << (li * s) for li in range(size))
+        #: every data bit of every lane (w low bits per lane)
+        self._lanes = self._lane * self._comb
+        #: every guard bit (bit w of each lane)
+        self._high = self._comb << w
+        # ------------------------------------------------- packed state
+        self._bits = 0
+        self._mask = 0
+        self._tags = 0
+        self._valid_mask = 0
+        self._valid_guard = 0
+        #: all tag bits / all valid bits (full-block shift masks)
+        self._tags_full = (1 << size * tag_width) - 1
+        self._valid_full = (1 << size) - 1
+        #: region/below mask sets for partial shifts, cached per
+        #: ``local_index`` -- deletes hit very few distinct locations, so
+        #: building the six big-int masks once per location wins over
+        #: rebuilding them on every shift
+        self._shift_masks: dict = {}
         #: registered copy of the incoming request (pipeline stage 1)
         self.registered_request: Optional[MatchRequest] = None
 
     # ------------------------------------------------------------- observers
     @property
     def occupancy(self) -> int:
-        """Number of valid cells in this block."""
-        return sum(1 for cell in self.cells if cell.valid)
+        """Number of valid cells in this block (a popcount, O(1))."""
+        return self._valid_mask.bit_count()
+
+    @property
+    def valid_mask(self) -> int:
+        """Valid bits as an integer bitmask (bit ``i`` = local cell ``i``)."""
+        return self._valid_mask
 
     @property
     def is_full(self) -> bool:
         """Every cell valid?"""
-        return all(cell.valid for cell in self.cells)
+        return self._valid_mask == (1 << self.size) - 1
 
     @property
     def bottom_empty(self) -> bool:
         """Is the lowest-order cell free (the insert/shift-in target)?"""
-        return not self.cells[0].valid
+        return not self._valid_mask & 1
+
+    @property
+    def bottom_valid(self) -> bool:
+        """Is the lowest-order cell occupied?"""
+        return bool(self._valid_mask & 1)
 
     def lowest_hole_above(self, local_index: int) -> Optional[int]:
         """Lowest empty cell strictly above ``local_index``, if any."""
         for position in range(local_index + 1, self.size):
-            if not self.cells[position].valid:
+            if not self._valid_mask >> position & 1:
                 return position
         return None
 
     def lowest_hole(self) -> Optional[int]:
         """Lowest empty cell position in the block, if any."""
-        for position, cell in enumerate(self.cells):
-            if not cell.valid:
-                return position
-        return None
+        inverted = ~self._valid_mask & ((1 << self.size) - 1)
+        if not inverted:
+            return None
+        return (inverted & -inverted).bit_length() - 1
+
+    # ----------------------------------------------------------- cell access
+    def cell_tuple(self, local_index: int) -> CellTuple:
+        """Snapshot of one cell as ``(bits, mask, tag, valid)``."""
+        shift = local_index * self._s
+        return (
+            self._bits >> shift & self._lane,
+            self._mask >> shift & self._lane,
+            self._tags >> local_index * self._t & self._tag_mask,
+            bool(self._valid_mask >> local_index & 1),
+        )
+
+    def top_cell(self) -> CellTuple:
+        """Snapshot of the highest-order cell (the cross-block shift-out)."""
+        return self.cell_tuple(self.size - 1)
+
+    def entry_at(self, local_index: int) -> Optional[MatchEntry]:
+        """The stored entry at ``local_index``, or None when invalid."""
+        bits, mask, tag, valid = self.cell_tuple(local_index)
+        if not valid:
+            return None
+        return MatchEntry(bits=bits, mask=mask, tag=tag)
+
+    def snapshot_cells(self) -> List[Cell]:
+        """Materialize the object view (tests/diagnostics; not a hot path)."""
+        cells = []
+        for local_index in range(self.size):
+            bits, mask, tag, valid = self.cell_tuple(local_index)
+            cells.append(
+                Cell(self.kind, bits=bits, mask=mask, tag=tag, valid=valid)
+            )
+        return cells
+
+    def load(self, local_index: int, entry: MatchEntry) -> None:
+        """Latch ``entry`` into one cell (an INSERT or a test fixture).
+
+        The unexpected-message cell has no mask storage (Fig. 2b), so for
+        ``CellKind.UNEXPECTED`` the stored mask is forced to zero exactly
+        as :meth:`repro.core.cell.Cell.load` does.
+        """
+        lane = self._lane
+        if not 0 <= entry.bits <= lane or not 0 <= entry.mask <= lane:
+            raise ValueError(
+                f"entry exceeds match width {self._w}: "
+                f"bits={entry.bits:#x} mask={entry.mask:#x}"
+            )
+        if not 0 <= entry.tag <= self._tag_mask:
+            raise ValueError(f"tag {entry.tag:#x} exceeds width {self._t}")
+        mask = entry.mask if self.kind is CellKind.POSTED_RECEIVE else 0
+        shift = local_index * self._s
+        tag_shift = local_index * self._t
+        self._bits = self._bits & ~(lane << shift) | entry.bits << shift
+        self._mask = self._mask & ~(lane << shift) | mask << shift
+        self._tags = (
+            self._tags & ~(self._tag_mask << tag_shift) | entry.tag << tag_shift
+        )
+        self._valid_mask |= 1 << local_index
+        self._valid_guard |= 1 << shift + self._w
+
+    def set_bottom(self, incoming: CellTuple) -> None:
+        """Overwrite cell 0 wholesale (a cross-block compaction latch)."""
+        bits, mask, tag, valid = incoming
+        lane = self._lane
+        self._bits = self._bits & ~lane | bits
+        self._mask = self._mask & ~lane | mask
+        self._tags = self._tags & ~self._tag_mask | tag
+        if valid:
+            self._valid_mask |= 1
+            self._valid_guard |= 1 << self._w
+        else:
+            self._valid_mask &= ~1
+            self._valid_guard &= ~(1 << self._w)
+
+    def clear_cell(self, local_index: int) -> None:
+        """Drop one valid bit (contents become don't-care, and stay put)."""
+        self._valid_mask &= ~(1 << local_index)
+        self._valid_guard &= ~(1 << local_index * self._s + self._w)
+
+    def clear_valid(self) -> None:
+        """RESET: drop every valid bit; stored data is don't-care."""
+        self._valid_mask = 0
+        self._valid_guard = 0
 
     # -------------------------------------------------------------- matching
     def register_request(self, request: MatchRequest) -> None:
@@ -122,34 +311,39 @@ class CellBlock:
         self.registered_request = request
 
     def match(self, request: Optional[MatchRequest] = None) -> Tuple[bool, int, int]:
-        """Pipeline stages 2-3: per-cell compares + in-block priority mux.
+        """Pipeline stages 2-3: block-wide compare + priority encode.
 
         Returns ``(matched, local_location, tag)``.  Uses the registered
         request unless one is passed explicitly.
 
-        Implementation note: the hardware evaluates every cell in
-        parallel and selects through the :func:`priority_select` mux
-        tree; a top-down scan that stops at the first (highest-index)
-        match computes the identical result, and the simulator's hot
-        loop uses that form.  ``test_block.py`` holds the two equal by
-        property test.
+        All cells compare at once, exactly as the hardware's parallel
+        compare plane does -- see the module docstring for the SWAR
+        identity with :func:`priority_select`.
         """
         if request is None:
             request = self.registered_request
-        if request is None:
-            raise RuntimeError("match() with no registered request")
-        request_bits = request.bits
-        request_mask = request.mask
-        for location in range(self.size - 1, -1, -1):
-            cell = self.cells[location]
-            if cell.valid and (
-                (cell.bits ^ request_bits) & ~(cell.mask | request_mask)
-            ) == 0:
-                return True, location, cell.tag
-        return False, 0, self.cells[0].tag
+            if request is None:
+                raise RuntimeError("match() with no registered request")
+        comb = self._comb
+        x = (
+            (self._bits ^ request.bits * comb)
+            & ~(self._mask | request.mask * comb)
+            & self._lanes
+        )
+        hit = (self._high - x) & self._valid_guard
+        if not hit:
+            return False, 0, self._tags & self._tag_mask
+        location = (hit.bit_length() - 1 - self._w) // self._s
+        return (
+            True,
+            location,
+            self._tags >> location * self._t & self._tag_mask,
+        )
 
     # ------------------------------------------------------------- shifting
-    def shift_up_through(self, local_index: int, incoming: Optional[Cell]) -> Cell:
+    def shift_up_through(
+        self, local_index: int, incoming: Optional[CellTuple]
+    ) -> CellTuple:
         """Shift cells ``[0, local_index]`` up by one position.
 
         ``incoming`` (the top cell of the previous block, or None at the
@@ -159,13 +353,56 @@ class CellBlock:
         block's bottom during compaction).  Mirrors the delete behaviour:
         "Cells at, and below, the match location are enabled while cells
         above it are not."
+
+        The whole region moves in one masked big-int shift per packed
+        field: ``new = (X & ~region) | ((X & below) << stride) | lane0``.
         """
-        displaced = Cell(self.kind)
-        displaced.copy_from(self.cells[local_index])
-        for position in range(local_index, 0, -1):
-            self.cells[position].copy_from(self.cells[position - 1])
+        s = self._s
+        t = self._t
+        displaced = self.cell_tuple(local_index)
         if incoming is not None:
-            self.cells[0].copy_from(incoming)
+            in_bits, in_mask, in_tag, in_valid = incoming
         else:
-            self.cells[0].clear()
+            in_bits = in_mask = in_tag = 0
+            in_valid = False
+        if local_index == self.size - 1:
+            # Full-block shift (the common case: a delete above this block
+            # or a cross-block compaction step moves the whole block): the
+            # region is everything, so no region/below masking is needed --
+            # shift, latch the incoming cell into lane 0, drop the top lane.
+            self._bits = (self._bits << s) & self._lanes | in_bits
+            self._mask = (self._mask << s) & self._lanes | in_mask
+            self._tags = (self._tags << t) & self._tags_full | in_tag
+            self._valid_guard = (
+                (self._valid_guard << s) & self._high | in_valid << self._w
+            )
+            self._valid_mask = (
+                (self._valid_mask << 1) & self._valid_full | in_valid
+            )
+            return displaced
+        masks = self._shift_masks.get(local_index)
+        if masks is None:
+            masks = (
+                (1 << (local_index + 1) * s) - 1,
+                (1 << local_index * s) - 1,
+                (1 << (local_index + 1) * t) - 1,
+                (1 << local_index * t) - 1,
+                (1 << local_index + 1) - 1,
+                (1 << local_index) - 1,
+            )
+            self._shift_masks[local_index] = masks
+        region_s, below_s, region_t, below_t, region_v, below_v = masks
+        self._bits = self._bits & ~region_s | (self._bits & below_s) << s | in_bits
+        self._mask = self._mask & ~region_s | (self._mask & below_s) << s | in_mask
+        self._tags = self._tags & ~region_t | (self._tags & below_t) << t | in_tag
+        self._valid_guard = (
+            self._valid_guard & ~region_s
+            | (self._valid_guard & below_s) << s
+            | in_valid << self._w
+        )
+        self._valid_mask = (
+            self._valid_mask & ~region_v
+            | (self._valid_mask & below_v) << 1
+            | in_valid
+        )
         return displaced

@@ -40,38 +40,38 @@ class MatchFormat:
     source_bits: int = 15
     tag_bits: int = 16
 
+    # Derived geometry, precomputed once in __post_init__ (they were
+    # properties, but pack/unpack sit on the firmware's per-message hot
+    # path and re-deriving shifts/masks per call measurably slowed it).
+    #: total match-word width in bits
+    width: int = dataclasses.field(init=False, repr=False, compare=False)
+    #: all-ones mask covering the whole match word
+    full_mask: int = dataclasses.field(init=False, repr=False, compare=False)
+    #: mask bits covering the source field (MPI_ANY_SOURCE)
+    source_field_mask: int = dataclasses.field(
+        init=False, repr=False, compare=False
+    )
+    #: mask bits covering the tag field (MPI_ANY_TAG)
+    tag_field_mask: int = dataclasses.field(init=False, repr=False, compare=False)
+    _source_shift: int = dataclasses.field(init=False, repr=False, compare=False)
+    _tag_shift: int = dataclasses.field(init=False, repr=False, compare=False)
+    _context_mask: int = dataclasses.field(init=False, repr=False, compare=False)
+    _source_mask: int = dataclasses.field(init=False, repr=False, compare=False)
+    _tag_mask: int = dataclasses.field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if min(self.context_bits, self.source_bits, self.tag_bits) <= 0:
             raise ValueError(f"all fields need at least one bit: {self}")
-
-    @property
-    def width(self) -> int:
-        """Total match-word width in bits."""
-        return self.context_bits + self.source_bits + self.tag_bits
-
-    @property
-    def full_mask(self) -> int:
-        """All-ones mask covering the whole match word."""
-        return (1 << self.width) - 1
-
-    # field extents ------------------------------------------------------
-    @property
-    def _source_shift(self) -> int:
-        return self.context_bits
-
-    @property
-    def _tag_shift(self) -> int:
-        return self.context_bits + self.source_bits
-
-    @property
-    def source_field_mask(self) -> int:
-        """Mask bits covering the source field (MPI_ANY_SOURCE)."""
-        return ((1 << self.source_bits) - 1) << self._source_shift
-
-    @property
-    def tag_field_mask(self) -> int:
-        """Mask bits covering the tag field (MPI_ANY_TAG)."""
-        return ((1 << self.tag_bits) - 1) << self._tag_shift
+        set_attr = object.__setattr__  # frozen dataclass
+        set_attr(self, "width", self.context_bits + self.source_bits + self.tag_bits)
+        set_attr(self, "full_mask", (1 << self.width) - 1)
+        set_attr(self, "_source_shift", self.context_bits)
+        set_attr(self, "_tag_shift", self.context_bits + self.source_bits)
+        set_attr(self, "_context_mask", (1 << self.context_bits) - 1)
+        set_attr(self, "_source_mask", (1 << self.source_bits) - 1)
+        set_attr(self, "_tag_mask", (1 << self.tag_bits) - 1)
+        set_attr(self, "source_field_mask", self._source_mask << self._source_shift)
+        set_attr(self, "tag_field_mask", self._tag_mask << self._tag_shift)
 
     # ------------------------------------------------------------- packing
     def pack(self, context: int, source: int, tag: int) -> int:
@@ -102,10 +102,11 @@ class MatchFormat:
 
     def unpack(self, bits: int) -> tuple[int, int, int]:
         """Inverse of :meth:`pack`; returns ``(context, source, tag)``."""
-        context = bits & ((1 << self.context_bits) - 1)
-        source = (bits >> self._source_shift) & ((1 << self.source_bits) - 1)
-        tag = (bits >> self._tag_shift) & ((1 << self.tag_bits) - 1)
-        return context, source, tag
+        return (
+            bits & self._context_mask,
+            (bits >> self._source_shift) & self._source_mask,
+            (bits >> self._tag_shift) & self._tag_mask,
+        )
 
     def _check_field(self, name: str, value: int, bits: int) -> None:
         if not 0 <= value < (1 << bits):
@@ -119,7 +120,7 @@ class MatchFormat:
 DEFAULT_FORMAT = MatchFormat()
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MatchEntry:
     """A list entry: what gets INSERTed into the ALPU.
 
@@ -138,7 +139,7 @@ class MatchEntry:
         return matches(self.bits, mask, request.bits)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MatchRequest:
     """What gets presented to the ALPU's header input.
 

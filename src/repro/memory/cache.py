@@ -55,19 +55,34 @@ class AccessResult:
     fill_line: Optional[int] = None
 
 
-@dataclasses.dataclass
-class _Line:
-    tag: int
-    dirty: bool = False
+#: shared result for the (overwhelmingly common) hit case -- callers treat
+#: results as read-only, so one allocation serves every hit
+_HIT = AccessResult(hit=True)
+
+#: sentinel distinguishing "tag absent" from a clean (False) dirty bit
+_ABSENT = object()
 
 
 class Cache:
-    """One level of set-associative cache with true-LRU replacement."""
+    """One level of set-associative cache with true-LRU replacement.
+
+    Each set is a dict mapping ``tag -> dirty`` whose insertion order *is*
+    the LRU order (first key = LRU, last = MRU): a hit pops and re-inserts
+    the tag, a miss evicts ``next(iter(set))``.  This is behaviourally
+    identical to the earlier list-of-lines model but makes the hit path a
+    single hash probe instead of an O(ways) scan -- the NIC's 64-way L1
+    made that scan the single hottest block in the whole simulator.
+    """
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
-        # each set is an LRU-ordered list: index 0 = LRU, last = MRU
-        self._sets: List[List[_Line]] = [[] for _ in range(config.num_sets)]
+        # hoisted geometry: num_sets is a dataclass property (a function
+        # call), far too slow to re-derive per access
+        self._num_sets = config.num_sets
+        self._line_bytes = config.line_bytes
+        self._ways = config.ways
+        # each set is an LRU-ordered dict: first key = LRU, last = MRU
+        self._sets: List[dict] = [{} for _ in range(config.num_sets)]
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
@@ -75,40 +90,58 @@ class Cache:
     # ------------------------------------------------------------- geometry
     def line_addr(self, addr: int) -> int:
         """Line index containing ``addr``."""
-        return addr // self.config.line_bytes
+        return addr // self._line_bytes
 
     def _set_index(self, line: int) -> int:
-        return line % self.config.num_sets
+        return line % self._num_sets
 
     def _tag(self, line: int) -> int:
-        return line // self.config.num_sets
+        return line // self._num_sets
 
     # ------------------------------------------------------------- accesses
     def access(self, addr: int, *, write: bool = False) -> AccessResult:
         """Access one address (classified at line granularity)."""
-        line = self.line_addr(addr)
-        index = self._set_index(line)
-        tag = self._tag(line)
+        num_sets = self._num_sets
+        line = addr // self._line_bytes
+        index = line % num_sets
+        tag = line // num_sets
         cache_set = self._sets[index]
-        for position, entry in enumerate(cache_set):
-            if entry.tag == tag:
-                # hit: move to MRU
-                cache_set.append(cache_set.pop(position))
-                if write:
-                    entry.dirty = True
-                self.hits += 1
-                return AccessResult(hit=True)
+        dirty = cache_set.pop(tag, _ABSENT)
+        if dirty is not _ABSENT:
+            # hit: re-insert at MRU position
+            cache_set[tag] = dirty or write
+            self.hits += 1
+            return _HIT
         # miss: allocate (write-allocate policy)
         self.misses += 1
         writeback = None
-        if len(cache_set) >= self.config.ways:
-            victim = cache_set.pop(0)
-            if victim.dirty:
+        if len(cache_set) >= self._ways:
+            victim_tag = next(iter(cache_set))
+            if cache_set.pop(victim_tag):
                 self.writebacks += 1
-                victim_line = victim.tag * self.config.num_sets + index
-                writeback = victim_line
-        cache_set.append(_Line(tag=tag, dirty=write))
+                writeback = victim_tag * num_sets + index
+        cache_set[tag] = write
         return AccessResult(hit=False, writeback_line=writeback, fill_line=line)
+
+    def fill(self, line: int, *, write: bool = False) -> Optional[int]:
+        """Handle a known miss of ``line`` (its tag verified absent).
+
+        The caller has already probed the set and popped nothing; this is
+        the miss half of :meth:`access` split out so the memory system
+        can inline the hit probe.  Returns the written-back line address
+        on a dirty eviction, else ``None``.
+        """
+        num_sets = self._num_sets
+        cache_set = self._sets[line % num_sets]
+        self.misses += 1
+        writeback = None
+        if len(cache_set) >= self._ways:
+            victim_tag = next(iter(cache_set))
+            if cache_set.pop(victim_tag):
+                self.writebacks += 1
+                writeback = victim_tag * num_sets + line % num_sets
+        cache_set[line // num_sets] = write
+        return writeback
 
     def touch_range(self, addr: int, size: int, *, write: bool = False) -> List[AccessResult]:
         """Access every line overlapped by ``[addr, addr+size)``."""
@@ -124,14 +157,12 @@ class Cache:
     def contains(self, addr: int) -> bool:
         """Non-mutating presence check (does not update LRU)."""
         line = self.line_addr(addr)
-        index = self._set_index(line)
-        tag = self._tag(line)
-        return any(entry.tag == tag for entry in self._sets[index])
+        return self._tag(line) in self._sets[self._set_index(line)]
 
     def invalidate_all(self) -> int:
         """Flush without write-back; returns the number of lines dropped."""
         dropped = sum(len(s) for s in self._sets)
-        self._sets = [[] for _ in range(self.config.num_sets)]
+        self._sets = [{} for _ in range(self._num_sets)]
         return dropped
 
     # ------------------------------------------------------------ statistics

@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from repro.memory.cache import Cache, CacheConfig
+from repro.memory.cache import _ABSENT, Cache, CacheConfig
 from repro.memory.dram import Dram, DramConfig
 
 
@@ -50,6 +50,7 @@ class MemorySystem:
         self.l2 = Cache(config.l2) if config.l2 is not None else None
         self.dram = Dram(config.dram)
         self.total_stall_ps = 0
+        self._line_bytes = config.l1.line_bytes
 
     # -------------------------------------------------------------- accesses
     def access(self, addr: int, size: int = 8, *, write: bool = False) -> int:
@@ -62,12 +63,27 @@ class MemorySystem:
         """
         if size <= 0:
             raise ValueError(f"access size must be positive: {size}")
-        line = self.l1.config.line_bytes
+        line = self._line_bytes
         first = addr // line
         last = (addr + size - 1) // line
-        stall = 0
-        for line_index in range(first, last + 1):
-            stall += self._access_line(line_index * line, write=write)
+        if first == last:
+            # Single-line access is the overwhelming case; the L1 probe
+            # is inlined (same state updates as Cache.access) so a hit --
+            # which stalls 0 ps -- costs one dict pop, not three calls.
+            l1 = self.l1
+            num_sets = l1._num_sets
+            cache_set = l1._sets[first % num_sets]
+            tag = first // num_sets
+            dirty = cache_set.pop(tag, _ABSENT)
+            if dirty is not _ABSENT:
+                cache_set[tag] = dirty or write
+                l1.hits += 1
+                return 0
+            stall = self._miss_line(first, write=write)
+        else:
+            stall = 0
+            for line_index in range(first, last + 1):
+                stall += self._access_line(line_index * line, write=write)
         self.total_stall_ps += stall
         return stall
 
@@ -78,10 +94,23 @@ class MemorySystem:
         stall = 0
         if l1_result.writeback_line is not None:
             stall += self._writeback(l1_result.writeback_line)
+        return stall + self._lower_levels(line_addr)
+
+    def _miss_line(self, line: int, *, write: bool) -> int:
+        """Known L1 miss of line index ``line`` (probe already failed)."""
+        writeback = self.l1.fill(line, write=write)
+        stall = 0
+        if writeback is not None:
+            stall += self._writeback(writeback)
+        return stall + self._lower_levels(line * self._line_bytes)
+
+    def _lower_levels(self, line_addr: int) -> int:
+        """Stall below L1: L2 (if present), then the DRAM path."""
+        stall = 0
         if self.l2 is not None:
             l2_result = self.l2.access(line_addr, write=False)
             if l2_result.hit:
-                return stall + self.config.l2_hit_ps
+                return self.config.l2_hit_ps
             if l2_result.writeback_line is not None:
                 stall += self._writeback(l2_result.writeback_line)
         return stall + self.config.miss_base_ps + self.dram.access(line_addr)

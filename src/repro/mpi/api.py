@@ -190,10 +190,15 @@ class MpiProcess:
     def wait(self, request: MpiRequest):
         """MPI_Wait: block until the request's completion arrives."""
         self._require_init()
+        fifo = self.host.completion_fifo
         while not request.done:
-            drained = yield from self._drain_completions()
-            if not request.done and not drained:
-                yield wait_on(self.host.completion_fifo.not_empty)
+            # Entering _drain_completions on an empty FIFO would allocate
+            # a generator just to return 0; the length check is the same
+            # condition its first try_pop would hit.
+            if len(fifo):
+                yield from self._drain_completions()
+            if not request.done and not len(fifo):
+                yield wait_on(fifo.not_empty)
         self._inflight.pop(request.req_id, None)
         return request
 

@@ -19,7 +19,7 @@ class RequestKind(enum.Enum):
     RECV = "recv"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class MpiStatus:
     """The MPI_Status of a completed receive.
 
@@ -32,7 +32,7 @@ class MpiStatus:
     count: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class MpiRequest:
     """One outstanding nonblocking operation."""
 

@@ -158,7 +158,12 @@ class Fabric(Component):
         key = (packet.src, packet.dst)
         seq = self._seq.get(key, 0)
         self._seq[key] = seq + 1
-        stamped = dataclasses.replace(packet, seq=seq)
+        # seq-stamp without dataclasses.replace: replace() re-runs the full
+        # dataclass __init__, and injection is per-packet hot.  Packet has
+        # no __post_init__, so a field-for-field clone is equivalent.
+        stamped = object.__new__(Packet)
+        stamped.__dict__.update(packet.__dict__)
+        stamped.__dict__["seq"] = seq
         self.packets_injected += 1
         verdict = Verdict.DELIVER if self.faults is None else self.faults.judge(stamped)
         link = self._links[(packet.src, self.topology.next_hop(packet.src, packet.dst))]
@@ -188,6 +193,7 @@ class Fabric(Component):
                 stamped, match_bits=self.faults.corrupt_bits(stamped.match_bits)
             )
             self._m_corrupted.inc()
+        wire_bytes = stamped.wire_bytes
         if verdict is Verdict.DELAY:
             # hold the packet back long enough for later traffic on the
             # same pair to overtake it: a genuine reorder at the receiver
@@ -199,11 +205,11 @@ class Fabric(Component):
             )
         else:
             self.in_flight += 1
-            link.send(stamped, stamped.wire_bytes)
+            link.send(stamped, wire_bytes)
             if verdict is Verdict.DUPLICATE:
                 self._m_duplicated.inc()
                 self.in_flight += 1
-                link.send(stamped, stamped.wire_bytes)
+                link.send(stamped, wire_bytes)
         lifecycle = self.engine.lifecycle
         if lifecycle.enabled:
             lifecycle.mark_uid(
@@ -217,7 +223,7 @@ class Fabric(Component):
                 },
             )
         self._m_packets.inc()
-        self._m_bytes.inc(stamped.wire_bytes)
+        self._m_bytes.inc(wire_bytes)
         tracer = self.engine.tracer
         if tracer.enabled:
             tracer.instant(

@@ -144,14 +144,20 @@ class AlpuDevice(Component):
     def _run(self):
         """The control loop: commands preempt headers between matches."""
         tracer = self.engine.tracer
+        alpu = self.alpu
+        command_fifo = self.command_fifo
+        header_fifo = self.header_fifo
+        result_push = self.result_fifo.push
+        kick_wait = wait_on(self._kick)
+        match_ps = self.timing.match_ps(alpu.config)
         while True:
             if self.stalled:
                 # stuck device: FIFOs fill, results never come.  Park on a
                 # signal that is never pulsed.
                 yield wait_on(self._stall_hold)
                 continue
-            if not self.command_fifo.empty:
-                command = self.command_fifo.pop()
+            if len(command_fifo):
+                command = command_fifo.pop()
                 if tracer.enabled:
                     tracer.begin(
                         "alpu",
@@ -159,29 +165,29 @@ class AlpuDevice(Component):
                         {"command": type(command).__name__},
                     )
                 yield delay(self._command_occupancy_ps(command))
-                for response in self.alpu.submit(command):
-                    self.result_fifo.push(response)
+                for response in alpu.submit(command):
+                    result_push(response)
                 if tracer.enabled:
                     tracer.end("alpu", f"{self.name}.command")
-            elif not self.header_fifo.empty:
-                request = self.header_fifo.pop()
+            elif len(header_fifo):
+                request = header_fifo.pop()
                 if tracer.enabled:
                     tracer.begin("alpu", f"{self.name}.match")
-                yield delay(self.timing.match_ps(self.alpu.config))
-                responses = self.alpu.present_header(request)
+                yield delay(match_ps)
+                responses = alpu.present_header(request)
                 for response in responses:
-                    self.result_fifo.push(response)
+                    result_push(response)
                 if tracer.enabled:
                     tracer.end(
                         "alpu",
                         f"{self.name}.match",
                         {
                             "resolved": len(responses),
-                            "occupancy": self.alpu.occupancy,
+                            "occupancy": alpu.occupancy,
                         },
                     )
             else:
-                yield wait_on(self._kick)
+                yield kick_wait
 
     def _command_occupancy_ps(self, command: Command) -> int:
         if isinstance(command, Insert):

@@ -25,6 +25,7 @@ class AlpuMatchBackend(MatchBackend):
     """Two ALPUs + software-suffix fallback (the ``"alpu"`` engine)."""
 
     name = "alpu"
+    has_update = True
 
     def _setup(self) -> None:
         self.posted_driver: AlpuQueueDriver = self.nic.posted_driver

@@ -53,6 +53,10 @@ class MatchBackend(abc.ABC):
 
     #: registry name; informational (set by subclasses)
     name: str = "?"
+    #: True when :meth:`update` does real per-loop maintenance; the
+    #: firmware skips the call (and the generator it would allocate)
+    #: every loop iteration when this is False
+    has_update: bool = False
 
     # ------------------------------------------------------------- wiring
     def attach(self, firmware) -> None:
@@ -100,11 +104,24 @@ class MatchBackend(abc.ABC):
         yield  # pragma: no cover - makes this a generator
 
     # ------------------------------------------------------ shared helpers
+    def charge_ps(self, op_cost) -> int:
+        """Charge an :class:`OpCost` against the processor; returns the ps.
+
+        Not a generator: callers ``yield delay(...)`` the result themselves
+        (usually folded into one delay with neighbouring charges), so the
+        per-operation generator that ``charge`` used to allocate is gone
+        from the hash backend's hot path.
+        """
+        proc = self.proc
+        touch = proc.touch
+        total = proc.compute(op_cost.cycles)
+        for addr, size, write in op_cost.touches:
+            total += touch(addr, size, write=write)
+        return total
+
     def charge(self, op_cost):
         """Charge an :class:`OpCost`: cycles plus cache-modelled lines."""
-        total = self.proc.compute(op_cost.cycles)
-        for addr, size, write in op_cost.touches:
-            total += self.proc.touch(addr, size, write=write)
+        total = self.charge_ps(op_cost)
         if total:
             yield delay(total)
 
@@ -140,13 +157,21 @@ class MatchBackend(abc.ABC):
         cost = 0
         found: Optional[QueueEntry] = None
         visited = 0
+        proc = self.proc
+        touch = proc.touch
+        req_bits = request.bits
+        req_mask = request.mask
         for entry in entries:
-            cost += self.proc.compute(self.cost.entry_compare_cycles)
-            cost += self.proc.touch(entry.addr, ENTRY_TOUCH_BYTES)
+            # per-visit charge: one cache line; the compare is the ternary
+            # rule of repro.core.match.matches with both masks honoured
+            cost += touch(entry.addr, ENTRY_TOUCH_BYTES)
             visited += 1
-            if entry.matches(request):
+            if not (entry.bits ^ req_bits) & ~(entry.mask | req_mask):
                 found = entry
                 break
+        # compare cycles are linear in visits (cycles() is exact integer
+        # ps-per-cycle), so one compute() call charges the identical total
+        cost += proc.compute(visited * self.cost.entry_compare_cycles)
         self.fw.record_traversal(visited)
         if cost:
             yield delay(cost)

@@ -12,6 +12,7 @@ from repro.core.match import MatchRequest
 from repro.nic.backends.base import MatchBackend
 from repro.nic.backends.hashmatch import HashMatchTable
 from repro.nic.queues import NicQueue, QueueEntry
+from repro.sim.process import delay
 
 
 class HashTableBackend(MatchBackend):
@@ -32,13 +33,19 @@ class HashTableBackend(MatchBackend):
 
     # ----------------------------------------------------------- indexing
     def post_receive(self, entry: QueueEntry):
-        yield from self.charge(self.posted_table.insert(entry))
+        total = self.charge_ps(self.posted_table.insert(entry))
+        if total:
+            yield delay(total)
 
     def note_unexpected(self, entry: QueueEntry):
-        yield from self.charge(self.unexpected_table.insert(entry))
+        total = self.charge_ps(self.unexpected_table.insert(entry))
+        if total:
+            yield delay(total)
 
     def remove(self, entry: QueueEntry, queue: NicQueue):
-        yield from self.charge(self._table_for(queue).remove(entry))
+        total = self.charge_ps(self._table_for(queue).remove(entry))
+        if total:
+            yield delay(total)
         queue.remove(entry)
 
     # ----------------------------------------------------------- matching
@@ -74,7 +81,9 @@ class HashTableBackend(MatchBackend):
         rec = self.fw.lifecycle
         if rec.enabled:
             rec.search_note(hash_probes=table.probes - probes_before)
-        yield from self.charge(op_cost)
+        total = self.charge_ps(op_cost)
+        if total:
+            yield delay(total)
         if entry is not None:
             yield from self.retire(entry, queue)
         return entry

@@ -89,7 +89,13 @@ class AlpuQueueDriver:
         self._buffered: Deque[Response] = deque()
         #: 16-bit hardware tags in flight -> queue entries
         self._tag_table: Dict[int, QueueEntry] = {}
-        self._free_tags = list(range((1 << device.alpu.config.tag_width) - 1, -1, -1))
+        # Tag allocation is lazy: fresh tags come from a counter (0, 1, 2,
+        # ...) and recycled tags from a LIFO free list, which issues the
+        # exact sequence an eagerly built ``list(range(max_tag, -1, -1))``
+        # pool would without materialising 2**tag_width integers up front.
+        self._recycled_tags: list = []
+        self._next_fresh_tag = 0
+        self._num_tags = 1 << device.alpu.config.tag_width
         #: software's tracked ALPU occupancy (Section IV-C "optimal
         #: implementation will also track this number")
         self.tracked_occupancy = 0
@@ -111,6 +117,11 @@ class AlpuQueueDriver:
     def engaged(self) -> bool:
         """Is the hardware currently replicating headers to this ALPU?"""
         return self.device.hw_delivery_enabled
+
+    @property
+    def free_tag_count(self) -> int:
+        """How many hardware tags are still available to hand out."""
+        return len(self._recycled_tags) + self._num_tags - self._next_fresh_tag
 
     # ------------------------------------------------------------- results
     def read_result(self):
@@ -170,7 +181,7 @@ class AlpuQueueDriver:
     def take_matched_entry(self, response: MatchSuccess) -> QueueEntry:
         """Resolve a MATCH SUCCESS tag to the queue entry and retire it."""
         entry = self._tag_table.pop(response.tag)
-        self._free_tags.append(response.tag)
+        self._recycled_tags.append(response.tag)
         self.tracked_occupancy -= 1
         return entry
 
@@ -201,7 +212,7 @@ class AlpuQueueDriver:
             return 0
         if self.tracked_occupancy >= self.device.alpu.capacity:
             return 0
-        if not self._free_tags:
+        if not self.free_tag_count:
             return 0
         if any(isinstance(r, MatchFailure) for r in self._buffered):
             # an earlier drain parked MATCH FAILURE responses that the
@@ -234,7 +245,7 @@ class AlpuQueueDriver:
             self.aborted_batches += 1
             return 0
 
-        batch = min(suffix_len, free, len(self._free_tags))
+        batch = min(suffix_len, free, self.free_tag_count)
         if self.config.max_batch is not None:
             batch = min(batch, self.config.max_batch)
         # inserts are posted writes; the command FIFO decouples us from
@@ -243,7 +254,11 @@ class AlpuQueueDriver:
         for entry in self.queue.entries[
             self.queue.alpu_count : self.queue.alpu_count + batch
         ]:
-            tag = self._free_tags.pop()
+            if self._recycled_tags:
+                tag = self._recycled_tags.pop()
+            else:
+                tag = self._next_fresh_tag
+                self._next_fresh_tag += 1
             self._tag_table[tag] = entry
             insert_cost += self.device.bus_write_command(
                 Insert(match_bits=entry.bits, mask_bits=entry.mask, tag=tag)

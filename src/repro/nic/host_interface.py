@@ -19,7 +19,7 @@ from repro.sim.units import ns
 HOST_NIC_LATENCY_PS = ns(100)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class PostRecv:
     """Host asks the NIC to post a receive.
 
@@ -41,7 +41,7 @@ class PostRecv:
     rank: int = 0
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class PostSend:
     """Host asks the NIC to send a message."""
 
@@ -59,7 +59,7 @@ class PostSend:
 HostCommand = Union[PostRecv, PostSend]
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Completion:
     """NIC tells the host a request finished.
 

@@ -38,9 +38,15 @@ class EntryKind(enum.Enum):
 _entry_ids = itertools.count(1)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(eq=False, slots=True)
 class QueueEntry:
-    """One list entry in NIC memory."""
+    """One list entry in NIC memory.
+
+    ``eq=False``: every entry carries a unique ``uid``, so field equality
+    could only ever hold between an entry and itself -- identity equality
+    is the same relation, and it keeps ``list.remove``/``list.index`` in
+    the queue-churn path from field-comparing every earlier entry.
+    """
 
     kind: EntryKind
     #: packed {context, source, tag} match bits
@@ -73,8 +79,13 @@ class QueueEntry:
         return MatchEntry(bits=self.bits, mask=self.mask, tag=self.uid)
 
     def matches(self, request: MatchRequest) -> bool:
-        """Ternary compare against a request (wildcards honoured)."""
-        return self.as_match_entry().matches_request(request)
+        """Ternary compare against a request (wildcards honoured).
+
+        Same rule as :func:`repro.core.match.matches` with both masks
+        honoured, evaluated directly so the linear-search hot loop does
+        not allocate a :class:`MatchEntry` per visited entry.
+        """
+        return ((self.bits ^ request.bits) & ~(self.mask | request.mask)) == 0
 
 
 #: per-entry footprint in NIC memory (two cache lines)

@@ -27,7 +27,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.network.packet import Packet, PacketKind, header_checksum
 from repro.sim.engine import SimulationError
-from repro.sim.event import EventHandle
+from repro.sim.timerwheel import TimerHandle, TimerWheel
 from repro.sim.units import us
 
 
@@ -66,7 +66,7 @@ class _TxRecord:
         self.packet = packet
         self.retries = 0
         self.timeout_ps = timeout_ps
-        self.timer: Optional[EventHandle] = None
+        self.timer: Optional[TimerHandle] = None
 
 
 class ReliabilityLayer:
@@ -85,6 +85,11 @@ class ReliabilityLayer:
         self._unacked: Dict[Tuple[int, int], _TxRecord] = {}
         #: early (out-of-order) arrivals, keyed (src, rel_seq)
         self._reorder: Dict[Tuple[int, int], Packet] = {}
+        #: retransmit timers -- a wheel, because nearly every timer is
+        #: cancelled by its ACK before firing: wheel cancels are O(1)
+        #: dict deletes that never leave tombstones in the engine heap,
+        #: and same-deadline bursts share one engine event
+        self._timers = TimerWheel(nic.engine)
         registry = self.engine.metrics
         prefix = f"{nic.name}.rel"
         self._m_retransmits = registry.counter(f"{prefix}/retransmits")
@@ -120,7 +125,7 @@ class ReliabilityLayer:
 
     def _arm_timer(self, record: _TxRecord) -> None:
         key = (record.packet.dst, record.packet.rel_seq)
-        record.timer = self.engine.schedule(
+        record.timer = self._timers.schedule(
             record.timeout_ps, lambda: self._on_timeout(key)
         )
 

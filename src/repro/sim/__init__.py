@@ -23,7 +23,7 @@ Time is kept as an integer count of picoseconds so that cycle arithmetic at
 """
 
 from repro.sim.engine import Engine, SimulationError
-from repro.sim.event import Event, EventHandle
+from repro.sim.event import EventHandle
 from repro.sim.component import Component, ClockedComponent
 from repro.sim.link import Link
 from repro.sim.fifo import Fifo, FifoFullError, FifoEmptyError
@@ -42,7 +42,6 @@ from repro.sim.units import (
 __all__ = [
     "Engine",
     "SimulationError",
-    "Event",
     "EventHandle",
     "Component",
     "ClockedComponent",

@@ -1,21 +1,54 @@
 """The discrete-event simulation engine.
 
-The :class:`Engine` owns the event heap and the simulated clock.  It is the
-single point of truth for "now"; every component and process reads time
+The :class:`Engine` owns the event queues and the simulated clock.  It is
+the single point of truth for "now"; every component and process reads time
 through the engine.  The engine is deliberately minimal -- components,
 links, FIFOs and processes are layered on top of ``schedule``.
+
+Data layout (the hot path)
+--------------------------
+Events are plain lists ``[time, priority, seq, action, state]`` (see
+:mod:`repro.sim.event`) held in **two** queues:
+
+* ``_heap`` -- a binary heap ordered by ``(time, priority, seq)`` for
+  events in the future or at non-default priority.  List comparison is a
+  C-level lexicographic walk, so there is no ``__lt__`` dispatch per
+  sift step.
+* ``_slot`` -- a FIFO deque holding the *current-instant slot*: events
+  scheduled with zero delay at priority 0.  This is by far the most
+  common case (process wakeups, signal pulses, FIFO hand-offs), and a
+  deque append/popleft is O(1) versus O(log n) heap sifts.
+
+The split is exact, not approximate.  A slot entry's key is
+``(now_at_schedule_time, 0, seq)``; because the clock never moves
+backwards and ``seq`` only grows, the slot deque is always sorted by key,
+and no *future* ``schedule`` call can create a key smaller than one
+already popped.  ``step`` therefore compares the slot head against the
+heap head and pops whichever has the smaller ``(time, priority, seq)``
+key -- byte-identical event ordering to a single heap, measurably faster.
+(``tests/sim/test_engine.py`` pins the ordering cases: same-instant
+priorities, zero-delay events running after current-instant peers, and
+the live-event counter against an explicit walk of both queues.)
+
+This engine drives the reproduction of the queue-processing pipeline from
+the source paper (Underwood, Hemmert, Rodrigues, Murphy, Brightwell,
+"A Hardware Acceleration Unit for MPI Queue Processing", IPDPS 2005):
+the Fig. 4/5 latency numbers come out of components exchanging events
+through this queue, so its ordering rules are part of the model's
+determinism contract.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.obs.lifecycle import NULL_LIFECYCLE
 from repro.obs.metrics import NULL_REGISTRY
 from repro.obs.selfprof import perf_counter
 from repro.obs.tracer import NULL_TRACER
-from repro.sim.event import Event, EventHandle
+from repro.sim.event import EventHandle
 
 
 class SimulationError(RuntimeError):
@@ -23,7 +56,7 @@ class SimulationError(RuntimeError):
 
 
 class Engine:
-    """Event queue + clock.
+    """Event queues + clock.
 
     Parameters
     ----------
@@ -53,7 +86,10 @@ class Engine:
         lifecycle=None,
         profiler=None,
     ) -> None:
-        self._heap: list[Event] = []
+        #: future / non-default-priority events, heap-ordered by key
+        self._heap: list[list] = []
+        #: current-instant priority-0 events, FIFO (always key-sorted)
+        self._slot: deque[list] = deque()
         self._now: int = 0
         self._seq: int = 0
         self._fired: int = 0
@@ -81,15 +117,15 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still in the heap.
+        """Number of live (non-cancelled) events still queued.
 
-        O(1): a counter incremented on ``schedule`` and decremented when
-        an event fires or its handle is cancelled -- never a heap walk,
-        so periodic probes sampling the backlog stay linear in events
-        even when the heap carries many lazy-cancellation tombstones.
-        (``tests/sim/test_engine.py`` asserts the counter against an
-        explicit heap walk.)  Use :attr:`raw_pending` for the heap size
-        including tombstones.
+        O(1): a counter incremented on ``schedule``/``post`` and
+        decremented when an event fires or its handle is cancelled --
+        never a queue walk, so periodic probes sampling the backlog stay
+        linear in events even when the heap carries many
+        lazy-cancellation tombstones.  (``tests/sim/test_engine.py``
+        asserts the counter against an explicit walk of both queues.)
+        Use :attr:`raw_pending` for the queue sizes including tombstones.
         """
         return self._live
 
@@ -99,9 +135,9 @@ class Engine:
 
     @property
     def raw_pending(self) -> int:
-        """Heap size including cancelled tombstones (the pre-telemetry
-        meaning of ``pending``, kept as an escape hatch)."""
-        return len(self._heap)
+        """Queued entries including cancelled tombstones (the
+        pre-telemetry meaning of ``pending``, kept as an escape hatch)."""
+        return len(self._heap) + len(self._slot)
 
     # ------------------------------------------------------------- scheduling
     def schedule(
@@ -119,11 +155,46 @@ class Engine:
         """
         if delay_ps < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay_ps})")
-        event = Event(self._now + delay_ps, priority, self._seq, action)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [self._now + delay_ps, priority, seq, action, 0]
+        if delay_ps == 0 and priority == 0:
+            self._slot.append(entry)
+        else:
+            heappush(self._heap, entry)
         self._live += 1
-        return EventHandle(event, self)
+        return EventHandle(entry, self)
+
+    def post(self, action: Callable[[], Any]) -> None:
+        """Schedule ``action`` at the current instant without a handle.
+
+        Equivalent to ``schedule(0, action)`` except that no
+        :class:`EventHandle` is allocated.  This is the engine's fastest
+        path -- the process layer resumes through it -- so use it
+        whenever the caller never cancels.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        self._slot.append([self._now, 0, seq, action, 0])
+        self._live += 1
+
+    def schedule_call(self, delay_ps: int, action: Callable[[], Any]) -> None:
+        """Schedule at priority 0 without allocating an :class:`EventHandle`.
+
+        The handle-free sibling of :meth:`schedule` for fire-and-forget
+        events (process delays, link deliveries): ordering is identical,
+        only the cancellation handle is skipped.
+        """
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay_ps})")
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [self._now + delay_ps, 0, seq, action, 0]
+        if delay_ps == 0:
+            self._slot.append(entry)
+        else:
+            heappush(self._heap, entry)
+        self._live += 1
 
     def schedule_at(
         self,
@@ -144,27 +215,43 @@ class Engine:
         """Request that the current ``run`` call return after this event."""
         self._stopped = True
 
+    def _pop_next(self) -> Optional[list]:
+        """Pop the live entry with the smallest (time, priority, seq) key."""
+        heap = self._heap
+        slot = self._slot
+        while slot and slot[0][4]:
+            slot.popleft()
+        while heap and heap[0][4]:
+            heappop(heap)
+        if slot:
+            if heap and heap[0] < slot[0]:
+                return heappop(heap)
+            return slot.popleft()
+        if heap:
+            return heappop(heap)
+        return None
+
     def step(self) -> bool:
         """Execute the next non-cancelled event.  Returns False if none."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self._now:  # pragma: no cover - heap invariant
-                raise SimulationError("event heap produced a past event")
-            self._now = event.time
-            self._fired += 1
-            event.fired = True
-            self._live -= 1
-            profiler = self.profiler
-            if profiler is None:
-                event.action()
-            else:
-                start = perf_counter()
-                event.action()
-                profiler.record(event.action, perf_counter() - start)
-            return True
-        return False
+        entry = self._pop_next()
+        if entry is None:
+            return False
+        time = entry[0]
+        if time < self._now:  # pragma: no cover - queue invariant
+            raise SimulationError("event queue produced a past event")
+        self._now = time
+        self._fired += 1
+        entry[4] = 2
+        self._live -= 1
+        action = entry[3]
+        profiler = self.profiler
+        if profiler is None:
+            action()
+        else:
+            start = perf_counter()
+            action()
+            profiler.record(action, perf_counter() - start)
+        return True
 
     def run(
         self,
@@ -172,13 +259,13 @@ class Engine:
         *,
         max_events: Optional[int] = None,
     ) -> int:
-        """Run until the heap drains, ``until`` is reached, or ``stop()``.
+        """Run until the queues drain, ``until`` is reached, or ``stop()``.
 
         Parameters
         ----------
         until:
             Absolute timestamp (ps).  Events *at* ``until`` are executed;
-            events after it are left in the heap and the clock is advanced
+            events after it are left queued and the clock is advanced
             to ``until``.
         max_events:
             Safety valve for tests; raises :class:`SimulationError` when
@@ -191,13 +278,24 @@ class Engine:
         """
         self._stopped = False
         executed = 0
-        while self._heap and not self._stopped:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and head.time > until:
+        heap = self._heap
+        slot = self._slot
+        while not self._stopped:
+            while slot and slot[0][4]:
+                slot.popleft()
+            while heap and heap[0][4]:
+                heappop(heap)
+            if not slot and not heap:
                 break
+            if until is not None:
+                if slot:
+                    head_time = slot[0][0]
+                    if heap and heap[0][0] < head_time:
+                        head_time = heap[0][0]
+                else:
+                    head_time = heap[0][0]
+                if head_time > until:
+                    break
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at t={self._now} ps"

@@ -83,12 +83,16 @@ class Fifo(Generic[T]):
     # ------------------------------------------------------------ operations
     def push(self, item: T) -> None:
         """Append ``item``; raises :class:`FifoFullError` when full."""
-        if self.full:
+        items = self._items
+        capacity = self.capacity
+        if capacity is not None and len(items) >= capacity:
             raise FifoFullError(f"push to full fifo {self.name}")
-        self._items.append(item)
+        items.append(item)
         self.total_pushed += 1
-        self.high_water = max(self.high_water, len(self._items))
-        if self.full:
+        depth = len(items)
+        if depth > self.high_water:
+            self.high_water = depth
+        if capacity is not None and depth >= capacity:
             self.not_full.clear()
         self.not_empty.set()
 
@@ -101,11 +105,12 @@ class Fifo(Generic[T]):
 
     def pop(self) -> T:
         """Remove and return the head item."""
-        if not self._items:
+        items = self._items
+        if not items:
             raise FifoEmptyError(f"pop from empty fifo {self.name}")
-        item = self._items.popleft()
+        item = items.popleft()
         self.total_popped += 1
-        if not self._items:
+        if not items:
             self.not_empty.clear()
         self.not_full.set()
         return item

@@ -8,6 +8,7 @@ uses two: the NIC local bus (20 ns per transaction) and the network wire
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.sim.component import Component
@@ -52,6 +53,11 @@ class Link(Component):
         self.bandwidth = bandwidth_bytes_per_ps
         self.on_deliver = on_deliver
         self._busy_until = 0
+        #: in-flight messages, in delivery order.  Delivery timestamps on
+        #: one link are non-decreasing in send order (``start`` and the
+        #: clock are both monotone), so a FIFO plus one bound method per
+        #: delivery replaces a per-send closure.
+        self._pending: deque = deque()
         self.messages_sent = 0
         self.bytes_sent = 0
         #: cumulative serialization occupancy (utilization numerator)
@@ -69,11 +75,18 @@ class Link(Component):
         With bandwidth modelling, the message starts serializing when the
         link frees up; delivery = start + occupancy + latency.
         """
-        start = max(self.now, self._busy_until)
-        occupancy = self.occupancy_ps(size_bytes)
+        engine = self.engine
+        now = engine._now
+        busy = self._busy_until
+        start = busy if busy > now else now
+        if self.bandwidth is None or size_bytes <= 0:
+            occupancy = 0
+        else:
+            occupancy = round(size_bytes / self.bandwidth)
         self._busy_until = start + occupancy
         deliver_at = start + occupancy + self.latency_ps
-        self.engine.schedule_at(deliver_at, lambda: self._deliver(message))
+        self._pending.append(message)
+        engine.schedule_call(deliver_at - now, self._deliver_next)
         self.messages_sent += 1
         self.bytes_sent += size_bytes
         self.busy_ps += occupancy
@@ -83,7 +96,8 @@ class Link(Component):
         """Fraction of elapsed sim time spent serializing (0.0 at t=0)."""
         return self.busy_ps / self.now if self.now else 0.0
 
-    def _deliver(self, message: Any) -> None:
+    def _deliver_next(self) -> None:
+        message = self._pending.popleft()
         if self.dest is not None:
             self.dest.push(message)
         if self.on_deliver is not None:

@@ -70,16 +70,25 @@ class Signal:
     def pulse(self) -> None:
         """Wake all currently registered waiters once (and all observers)."""
         self._pulses += 1
-        waiters, self._waiters = self._waiters, []
-        for callback in waiters:
-            callback()
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for callback in waiters:
+                callback()
         for callback in self._observers:
             callback()
 
     def set(self) -> None:
-        """Raise the level and wake waiters."""
+        """Raise the level and wake waiters (inlined :meth:`pulse` body --
+        every FIFO push lands here, so the extra call frame showed up)."""
         self._level = True
-        self.pulse()
+        self._pulses += 1
+        waiters = self._waiters
+        if waiters:
+            self._waiters = []
+            for callback in waiters:
+                callback()
+        for callback in self._observers:
+            callback()
 
     def clear(self) -> None:
         """Lower the level."""

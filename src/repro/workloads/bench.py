@@ -15,12 +15,21 @@ compared against the committed baseline:
   under ``--fail-on-wallclock`` (for perf-gating runs on the machine
   that wrote the baseline).
 
+A third file, ``BENCH_before.json``, freezes the grid as measured at the
+commit *before* the SWAR core vectorization (plus the core-stress point
+back-measured at that commit).  ``--compare`` joins a fresh run against
+it and emits the before/after events-per-sec table of the EXPERIMENTS.md
+performance model; ``--require-speedup 5.0`` is the vectorization gate:
+at least one pinned point must run >=5x faster than it did before.
+
 CLI::
 
     python -m repro.workloads.bench --check [BENCH_baseline.json]
     python -m repro.workloads.bench --check --fail-on-wallclock
     python -m repro.workloads.bench --write [BENCH_baseline.json]
     python -m repro.workloads.bench --check --artifacts out/
+    python -m repro.workloads.bench --check --compare --require-speedup 5.0
+    python -m repro.workloads.bench --check --compare --markdown table.md
 
 ``--artifacts DIR`` additionally runs one attribution-instrumented
 Figure-5 point (list vs. alpu at queue depth 50) and drops the text
@@ -97,6 +106,15 @@ GRID: Tuple[Tuple[str, str, Dict[str, object]], ...] = (
             "warmup": 1,
         },
     ),
+    # the vectorized-core stress point: a fill/drain op stream against one
+    # large ALPU, where nearly every event carries a core operation (see
+    # repro.workloads.alpucore).  This is the pinned point the >=5x
+    # vectorization gate (--compare --require-speedup) is anchored on.
+    (
+        "alpucore",
+        "alpu1024x512",
+        {"cells": 1024, "block_size": 512, "iterations": 4, "warmup": 1},
+    ),
 )
 
 
@@ -111,6 +129,7 @@ def _point_id(benchmark: str, preset: str, params: Dict[str, object]) -> str:
 def run_grid() -> List[Dict[str, object]]:
     """Run every grid point with the self-profiler on; returns records."""
     from repro.obs.telemetry import Telemetry
+    from repro.workloads.alpucore import AlpuCoreParams, run_alpucore
     from repro.workloads.halo import HaloParams, run_halo
     from repro.workloads.preposted import PrepostedParams, run_preposted
     from repro.workloads.sweep import nic_preset
@@ -119,16 +138,21 @@ def run_grid() -> List[Dict[str, object]]:
     records = []
     for benchmark, preset, params in GRID:
         bundle = Telemetry(tracing=False, profile=True)
-        nic = nic_preset(preset)
-        if benchmark == "preposted":
+        if benchmark == "alpucore":
+            # drives one AlpuDevice directly -- no NIC preset involved;
+            # the preset column is purely the geometry label
+            result = run_alpucore(AlpuCoreParams(**params), telemetry=bundle)
+        elif benchmark == "preposted":
             result = run_preposted(
-                nic, PrepostedParams(**params), telemetry=bundle
+                nic_preset(preset), PrepostedParams(**params), telemetry=bundle
             )
         elif benchmark == "halo":
-            result = run_halo(nic, HaloParams(**params), telemetry=bundle)
+            result = run_halo(
+                nic_preset(preset), HaloParams(**params), telemetry=bundle
+            )
         else:
             result = run_unexpected(
-                nic, UnexpectedParams(**params), telemetry=bundle
+                nic_preset(preset), UnexpectedParams(**params), telemetry=bundle
             )
         profile = bundle.profiler.snapshot(top=5)
         records.append(
@@ -196,6 +220,12 @@ def check_baseline(
             )
         base_rate = reference.get("events_per_sec") or 0.0
         rate = record.get("events_per_sec") or 0.0
+        # ``events_per_sec_tolerance`` is consumed here and only here: it
+        # is the per-point fractional band below the committed events/sec
+        # within which a fresh run still passes.  A point recorded at
+        # 100k events/s with tolerance 0.25 tolerates anything >= 75k;
+        # slower than that warns (or fails under --fail-on-wallclock).
+        # Faster never fails -- the band is one-sided.
         tolerance = reference.get(
             "events_per_sec_tolerance", DEFAULT_WALLCLOCK_TOLERANCE
         )
@@ -211,6 +241,71 @@ def check_baseline(
         ok = False
         messages.append(f"FAIL {stale}: in baseline but not in the grid")
     return ok, messages
+
+
+# ------------------------------------------------------------ comparison
+#: frozen pre-vectorization grid (measured at the commit before the SWAR
+#: core landed), the "before" side of the performance-model tables
+BEFORE_PATH = "BENCH_before.json"
+
+
+def compare_records(
+    before_path: str, records: List[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Join a grid run against a frozen "before" baseline, point by point.
+
+    Returns one row per current-grid point: before/after events/sec, the
+    speedup, and whether the simulated latencies are identical (the
+    bit-identity column -- ``None`` when the before grid lacks the
+    point).  Points absent from the before file get ``before == None``.
+    """
+    with open(before_path, "r", encoding="utf-8") as handle:
+        before = json.load(handle)
+    by_id = {record["id"]: record for record in before.get("grid", ())}
+    rows = []
+    for record in records:
+        reference = by_id.get(record["id"])
+        before_rate = reference.get("events_per_sec") if reference else None
+        rate = record.get("events_per_sec") or 0.0
+        rows.append(
+            {
+                "id": record["id"],
+                "before_events_per_sec": before_rate,
+                "events_per_sec": rate,
+                "speedup": (rate / before_rate) if before_rate else None,
+                "latencies_identical": (
+                    record["latencies_ns"] == reference["latencies_ns"]
+                    if reference
+                    else None
+                ),
+            }
+        )
+    return rows
+
+
+def format_comparison_markdown(rows: List[Dict[str, object]]) -> str:
+    """The before/after table as GitHub-flavoured markdown."""
+    lines = [
+        "| grid point | before (events/s) | after (events/s) | speedup "
+        "| simulated latency |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        before_rate = row["before_events_per_sec"]
+        before_text = f"{before_rate:,.0f}" if before_rate else "--"
+        speedup = row["speedup"]
+        speedup_text = f"{speedup:.2f}x" if speedup else "new point"
+        identical = row["latencies_identical"]
+        identity_text = (
+            "identical" if identical else "new point" if identical is None
+            else "**DRIFTED**"
+        )
+        lines.append(
+            f"| `{row['id']}` | {before_text} "
+            f"| {row['events_per_sec']:,.0f} | {speedup_text} "
+            f"| {identity_text} |"
+        )
+    return "\n".join(lines) + "\n"
 
 
 # ------------------------------------------------------------- artifacts
@@ -323,9 +418,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fail --check when events/sec falls below a point's "
         "committed tolerance band (default: warn only)",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="BEFORE",
+        nargs="?",
+        const=BEFORE_PATH,
+        help="also print a before/after events-per-sec comparison against "
+        f"a frozen baseline (default {BEFORE_PATH})",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        help="with --compare: write the table as GitHub-flavoured "
+        "markdown to FILE ('-' for stdout); CI appends it to the job "
+        "summary",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        metavar="X",
+        help="with --compare: fail unless at least one compared point "
+        "runs >= X times faster than the before baseline (the "
+        "vectorization gate uses 5.0)",
+    )
     args = parser.parse_args(argv)
 
     status = 0
+    records = None
     if args.write:
         records = write_baseline(args.path)
         print(f"wrote {args.path} ({len(records)} grid points)")
@@ -335,8 +454,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"{record['events_per_sec']:,.0f} events/s"
             )
     else:
+        records = run_grid()
         ok, messages = check_baseline(
-            args.path, fail_on_wallclock=args.fail_on_wallclock
+            args.path, records, fail_on_wallclock=args.fail_on_wallclock
         )
         for message in messages:
             print(message)
@@ -345,6 +465,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             status = 1
         else:
             print("benchmark baseline check passed")
+    if args.compare:
+        rows = compare_records(args.compare, records)
+        table = format_comparison_markdown(rows)
+        if args.markdown and args.markdown != "-":
+            with open(args.markdown, "w", encoding="utf-8") as handle:
+                handle.write(table)
+            print(f"comparison table: {args.markdown}")
+        else:
+            print(table, end="")
+        if any(row["latencies_identical"] is False for row in rows):
+            print("comparison: simulated latencies DRIFTED from the "
+                  "before baseline")
+            status = 1
+        if args.require_speedup is not None:
+            speedups = [row["speedup"] for row in rows if row["speedup"]]
+            best = max(speedups, default=0.0)
+            if best < args.require_speedup:
+                print(
+                    f"speedup gate FAILED: best point is {best:.2f}x, "
+                    f"needed >= {args.require_speedup:.2f}x"
+                )
+                status = 1
+            else:
+                print(
+                    f"speedup gate passed: best point {best:.2f}x "
+                    f">= {args.require_speedup:.2f}x"
+                )
     if args.artifacts:
         for path in write_artifacts(args.artifacts):
             print(f"artifact: {path}")

@@ -12,7 +12,7 @@ def loaded_block(tags, size=8, kind=CellKind.POSTED_RECEIVE):
     """Block with cells 0..len(tags)-1 loaded; bits equal tag for ease."""
     block = CellBlock(kind, size)
     for i, tag in enumerate(tags):
-        block.cells[i].load(MatchEntry(bits=tag, mask=0, tag=tag))
+        block.load(i, MatchEntry(bits=tag, mask=0, tag=tag))
     return block
 
 
@@ -84,12 +84,14 @@ def test_block_match_with_explicit_request():
     st.lists(st.integers(0, 3), min_size=0, max_size=8),
     st.integers(0, 3),
 )
-def test_block_fast_scan_equals_priority_mux_tree(stored, probe):
-    """The hot-loop scan must equal the hardware's mux tree, always."""
+def test_block_vector_match_equals_priority_mux_tree(stored, probe):
+    """The SWAR block-wide match must equal the hardware's mux tree fed
+    with per-cell compare outputs, always."""
     block = loaded_block(stored, size=8)
     request = MatchRequest(bits=probe)
-    flags = [cell.match(request) for cell in block.cells]
-    tags = [cell.tag for cell in block.cells]
+    cells = block.snapshot_cells()
+    flags = [cell.match(request) for cell in cells]
+    tags = [cell.tag for cell in cells]
     assert block.match(request)[:2] == priority_select(flags, tags)[:2]
     if block.match(request)[0]:
         assert block.match(request) == priority_select(flags, tags)
@@ -100,23 +102,29 @@ def test_shift_up_through_deletes_and_compacts():
     block = loaded_block([10, 11, 12, 13], size=4)
     # delete local cell 2: cells 0..1 shift to 1..2, cell 0 empties
     block.shift_up_through(2, incoming=None)
-    assert [c.tag if c.valid else None for c in block.cells] == [None, 10, 11, 13]
+    cells = block.snapshot_cells()
+    assert [c.tag if c.valid else None for c in cells] == [None, 10, 11, 13]
 
 
 def test_shift_up_through_with_incoming_latches_it():
     block = loaded_block([10, 11, 12, 13], size=4)
-    from repro.core.cell import Cell
-
-    incoming = Cell(CellKind.POSTED_RECEIVE)
-    incoming.load(MatchEntry(bits=0, mask=0, tag=99))
+    incoming = (0, 0, 99, True)  # (bits, mask, tag, valid)
     block.shift_up_through(3, incoming)
-    assert [c.tag for c in block.cells] == [99, 10, 11, 12]
+    assert [c.tag for c in block.snapshot_cells()] == [99, 10, 11, 12]
 
 
 def test_shift_returns_displaced_top():
     block = loaded_block([10, 11], size=2)
-    displaced = block.shift_up_through(1, incoming=None)
-    assert displaced.valid and displaced.tag == 11
+    bits, mask, tag, valid = block.shift_up_through(1, incoming=None)
+    assert valid and tag == 11
+
+
+def test_cell_tuple_round_trips_through_set_bottom():
+    source = loaded_block([7], size=2)
+    dest = CellBlock(CellKind.POSTED_RECEIVE, 2)
+    dest.set_bottom(source.cell_tuple(0))
+    assert dest.cell_tuple(0) == source.cell_tuple(0)
+    assert dest.bottom_valid
 
 
 # -------------------------------------------------------------- occupancy
@@ -135,8 +143,33 @@ def test_occupancy_and_holes():
 def test_bottom_empty():
     block = CellBlock(CellKind.POSTED_RECEIVE, 4)
     assert block.bottom_empty
-    block.cells[0].load(MatchEntry(bits=0, mask=0, tag=0))
+    block.load(0, MatchEntry(bits=0, mask=0, tag=0))
     assert not block.bottom_empty
+
+
+def test_clear_cell_leaves_contents_stale():
+    """Hardware drops only the valid bit; the stored tag stays visible to
+    the no-match path (which reports lane 0's tag, valid or not)."""
+    block = loaded_block([42], size=2)
+    block.clear_cell(0)
+    bits, mask, tag, valid = block.cell_tuple(0)
+    assert not valid and tag == 42
+    assert block.match(MatchRequest(bits=42)) == (False, 0, 42)
+
+
+def test_unexpected_kind_does_not_store_mask():
+    block = CellBlock(CellKind.UNEXPECTED, 2)
+    block.load(0, MatchEntry(bits=5, mask=3, tag=1))
+    bits, mask, _, _ = block.cell_tuple(0)
+    assert (bits, mask) == (5, 0)
+
+
+def test_load_rejects_overwidth_values():
+    block = CellBlock(CellKind.POSTED_RECEIVE, 2, match_width=4, tag_width=4)
+    with pytest.raises(ValueError):
+        block.load(0, MatchEntry(bits=1 << 4, mask=0, tag=0))
+    with pytest.raises(ValueError):
+        block.load(0, MatchEntry(bits=0, mask=0, tag=1 << 4))
 
 
 def test_block_size_must_be_power_of_two():

@@ -151,10 +151,10 @@ def test_match_success_roundtrip_through_tags():
 
 def test_tags_recycle_after_matches():
     engine, device, queue, driver = build(total_cells=4, block_size=4)
-    free_before = len(driver._free_tags)
+    free_before = driver.free_tag_count
     fill(queue, 2)
     run_gen(engine, driver.update())
-    assert len(driver._free_tags) == free_before - 2
+    assert driver.free_tag_count == free_before - 2
     device.hw_push_header(MatchRequest(bits=0))
     engine.run()
 
@@ -164,7 +164,7 @@ def test_tags_recycle_after_matches():
 
     response = run_gen(engine, consume())
     queue.remove(driver.take_matched_entry(response))
-    assert len(driver._free_tags) == free_before - 1
+    assert driver.free_tag_count == free_before - 1
 
 
 def test_update_aborts_when_a_failure_is_outstanding():

@@ -180,8 +180,12 @@ def test_engine_defaults_are_disabled_singletons():
 
 
 def _live_walk(engine):
-    """The pre-optimisation O(n) definition of ``pending``: walk the heap."""
-    return sum(1 for event in engine._heap if not event.cancelled)
+    """The pre-optimisation O(n) definition of ``pending``: walk both
+    queues (heap + current-instant slot) counting live entries."""
+    from repro.sim.event import EVENT_LIVE, STATE
+
+    entries = list(engine._heap) + list(engine._slot)
+    return sum(1 for entry in entries if entry[STATE] == EVENT_LIVE)
 
 
 def test_pending_counter_matches_the_heap_walk():

@@ -1,0 +1,97 @@
+"""Unit tests for the slotted timer wheel behind the reliability layer."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.timerwheel import TimerWheel
+
+
+def test_timers_fire_at_their_deadline_in_arming_order():
+    engine = Engine()
+    wheel = TimerWheel(engine)
+    fired = []
+    wheel.schedule(100, lambda: fired.append(("a", engine.now)))
+    wheel.schedule(50, lambda: fired.append(("b", engine.now)))
+    wheel.schedule(100, lambda: fired.append(("c", engine.now)))
+    engine.run()
+    assert fired == [("b", 50), ("a", 100), ("c", 100)]
+
+
+def test_same_deadline_timers_share_one_engine_event():
+    engine = Engine()
+    wheel = TimerWheel(engine)
+    for _ in range(5):
+        wheel.schedule(200, lambda: None)
+    assert wheel.armed == 5
+    # one slot, hence a single pending engine event for all five timers
+    assert len(wheel._slots) == 1
+    engine.run()
+    assert wheel.armed == 0
+
+
+def test_cancel_before_fire_suppresses_callback():
+    engine = Engine()
+    wheel = TimerWheel(engine)
+    fired = []
+    handle = wheel.schedule(10, lambda: fired.append("cancelled"))
+    wheel.schedule(10, lambda: fired.append("kept"))
+    assert handle.active
+    handle.cancel()
+    assert not handle.active
+    handle.cancel()  # idempotent
+    engine.run()
+    assert fired == ["kept"]
+    assert wheel.armed == 0
+
+
+def test_cancel_during_fire_stops_same_slot_peer():
+    """A callback cancelling a peer in its own slot must prevent it."""
+    engine = Engine()
+    wheel = TimerWheel(engine)
+    fired = []
+    handles = {}
+    handles["b"] = wheel.schedule(
+        30, lambda: (fired.append("a"), handles["b"].cancel())
+    )
+    handles["b"] = wheel.schedule(30, lambda: fired.append("b"))
+    engine.run()
+    assert fired == ["a"]
+
+
+def test_rearm_during_fire_opens_a_fresh_slot():
+    engine = Engine()
+    wheel = TimerWheel(engine)
+    fired = []
+
+    def tick():
+        fired.append(engine.now)
+        if len(fired) < 3:
+            wheel.schedule(40, tick)
+
+    wheel.schedule(40, tick)
+    engine.run()
+    assert fired == [40, 80, 120]
+
+
+def test_zero_delay_fires_and_negative_delay_rejected():
+    engine = Engine()
+    wheel = TimerWheel(engine)
+    fired = []
+    wheel.schedule(0, lambda: fired.append(engine.now))
+    with pytest.raises(ValueError):
+        wheel.schedule(-1, lambda: None)
+    engine.run()
+    assert fired == [0]
+
+
+def test_armed_counts_across_slots():
+    engine = Engine()
+    wheel = TimerWheel(engine)
+    a = wheel.schedule(10, lambda: None)
+    wheel.schedule(20, lambda: None)
+    wheel.schedule(20, lambda: None)
+    assert wheel.armed == 3
+    a.cancel()
+    assert wheel.armed == 2
+    engine.run()
+    assert wheel.armed == 0

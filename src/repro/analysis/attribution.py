@@ -48,6 +48,10 @@ STAGE_ORDER: Tuple[str, ...] = (
     "rndv_cts",
     "rndv_data_dma",
     "wire",
+    "hop_fault_delay",
+    "hop_wait",
+    "hop_serialize",
+    "hop_transit",
     "wire_drop",
     "retransmit",
     "backend_degraded",
@@ -61,6 +65,18 @@ STAGE_ORDER: Tuple[str, ...] = (
     "deliver",
     "rx_dma",
     "completion",
+)
+
+
+#: the per-hop decomposition stages fabric observability adds inside a
+#: ``wire`` segment (see repro.network.fabric); with observability on
+#: the ``wire`` mark's own residency collapses to zero and these carry
+#: the decomposed budget
+HOP_STAGES: Tuple[str, ...] = (
+    "hop_fault_delay",
+    "hop_wait",
+    "hop_serialize",
+    "hop_transit",
 )
 
 
@@ -152,6 +168,119 @@ def budget_rows(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------- fabric hops
+def wire_segments(lifecycle: MessageLifecycle) -> List[Dict[str, object]]:
+    """Per wire traversal: the segment span and its per-hop budget.
+
+    A *segment* runs from a ``wire`` mark to the first following mark
+    that is neither ``wire`` nor a hop stage.  Each segment reports
+
+    - ``span_ps``: wall time of the whole traversal (injection to exit),
+    - ``wire_ps``: the ``wire`` mark's own residency (zero with fabric
+      observability on -- the hops carry the budget),
+    - ``hops_ps``: summed residency of all hop marks inside the segment,
+    - ``hops``: per-hop-mark rows ``{stage, link, residency_ps}``.
+
+    The telescoping decomposition invariant is ``wire_ps + hops_ps ==
+    span_ps`` for every segment -- residencies are consecutive mark
+    deltas, so it holds by construction; asserted anyway (and property-
+    tested) so a reordered recorder cannot decompose quietly wrong.
+    """
+    if not lifecycle.complete:
+        raise AttributionError(
+            f"lifecycle mid={lifecycle.mid} is incomplete"
+        )
+    marks = lifecycle.marks
+    hop_stages = set(HOP_STAGES)
+    segments: List[Dict[str, object]] = []
+    i = 0
+    while i < len(marks) - 1:
+        if marks[i].stage != "wire":
+            i += 1
+            continue
+        start = marks[i].time_ps
+        wire_ps = marks[i + 1].time_ps - start
+        hops: List[Dict[str, object]] = []
+        hops_ps = 0
+        j = i + 1
+        while j < len(marks) - 1 and marks[j].stage in hop_stages:
+            residency = marks[j + 1].time_ps - marks[j].time_ps
+            detail = marks[j].detail or {}
+            hops.append(
+                {
+                    "stage": marks[j].stage,
+                    "link": detail.get("link"),
+                    "residency_ps": residency,
+                }
+            )
+            hops_ps += residency
+            j += 1
+        span_ps = marks[j].time_ps - start
+        if wire_ps + hops_ps != span_ps:  # pragma: no cover - telescoping
+            raise AttributionError(
+                f"wire segment of mid={lifecycle.mid} decomposes to "
+                f"{wire_ps} + {hops_ps} ps, span is {span_ps} ps"
+            )
+        segments.append(
+            {
+                "start_ps": start,
+                "end_ps": marks[j].time_ps,
+                "span_ps": span_ps,
+                "wire_ps": wire_ps,
+                "hops_ps": hops_ps,
+                "hops": hops,
+            }
+        )
+        i = j
+    return segments
+
+
+def link_budgets(
+    lifecycles: Iterable[MessageLifecycle],
+) -> Dict[str, Dict[str, int]]:
+    """Fold hop marks into ``{link name: per-link budget}``.
+
+    Each budget carries ``packets`` (hop traversals, counted at the
+    serialize mark), ``bytes``, and the summed ``wait_ps`` /
+    ``serialize_ps`` / ``transit_ps`` / ``fault_delay_ps`` residencies
+    -- the congestion-attribution table the fabric CLI and the heatmap
+    caption print.  Residencies come from mark deltas, so the table's
+    grand total telescopes into the runs' end-to-end budgets.
+    """
+    field = {
+        "hop_wait": "wait_ps",
+        "hop_serialize": "serialize_ps",
+        "hop_transit": "transit_ps",
+        "hop_fault_delay": "fault_delay_ps",
+    }
+    budgets: Dict[str, Dict[str, int]] = {}
+    for lifecycle in lifecycles:
+        marks = lifecycle.marks
+        for index, mark in enumerate(marks[:-1]):
+            key = field.get(mark.stage)
+            if key is None:
+                continue
+            detail = mark.detail or {}
+            link = detail.get("link")
+            if link is None:
+                continue
+            entry = budgets.get(link)
+            if entry is None:
+                entry = budgets[link] = {
+                    "packets": 0,
+                    "bytes": 0,
+                    "wait_ps": 0,
+                    "serialize_ps": 0,
+                    "transit_ps": 0,
+                    "fault_delay_ps": 0,
+                }
+            entry[key] += marks[index + 1].time_ps - mark.time_ps
+            if mark.stage == "hop_serialize":
+                entry["packets"] += 1
+                entry["bytes"] += detail.get("bytes", 0)
+    return budgets
 
 
 # ------------------------------------------------------------- aggregate

@@ -75,6 +75,7 @@ def load_report(path: str) -> Dict[str, object]:
     document.setdefault("health", {"verdict": "healthy", "findings": []})
     document.setdefault("lifecycles", None)
     document.setdefault("profile", None)
+    document.setdefault("fabric", None)
     return document
 
 
@@ -154,6 +155,271 @@ def _series_rows(document: Dict[str, object]) -> List[Dict[str, object]]:
     return rows
 
 
+# ---------------------------------------------------------- fabric render
+def _node_coords(node: int, dims: Sequence[int]) -> Tuple[int, ...]:
+    """Grid coordinates of ``node`` (dim 0 fastest, as in Topology)."""
+    out = []
+    for extent in dims:
+        out.append(node % extent)
+        node //= extent
+    return tuple(out)
+
+
+def node_heat(fabric: Dict[str, object]) -> Dict[int, float]:
+    """Per-node heat: the hottest utilization of any incident channel.
+
+    The quantity both heatmap renderings (text glyph grid, SVG node
+    fill) color by, computed once here so they cannot disagree.
+    """
+    heat: Dict[int, float] = {
+        node: 0.0 for node in range(fabric["topology"]["num_nodes"])
+    }
+    for link in fabric["links"]:
+        for node in (link["src"], link["dst"]):
+            if link["utilization"] > heat[node]:
+                heat[node] = link["utilization"]
+    return heat
+
+
+def hottest_links(
+    fabric: Dict[str, object], count: int = 8
+) -> List[Dict[str, object]]:
+    """The ``count`` busiest channels by utilization (ties: by name)."""
+    return sorted(
+        fabric["links"],
+        key=lambda link: (-link["utilization"], link["name"]),
+    )[:count]
+
+
+def _heat_glyph(value: float, top: float) -> str:
+    if top <= 0:
+        return _SPARK_GLYPHS[0]
+    scale = (len(_SPARK_GLYPHS) - 1) / top
+    return _SPARK_GLYPHS[round(value * scale)]
+
+
+def _heat_color(value: float, top: float) -> str:
+    """Cold slate-blue to hot red, linear in ``value / top``."""
+    fraction = 0.0 if top <= 0 else min(value / top, 1.0)
+    red = round(74 + fraction * (197 - 74))
+    green = round(85 + fraction * (48 - 85))
+    blue = round(104 + fraction * (48 - 104))
+    return f"#{red:02x}{green:02x}{blue:02x}"
+
+
+def _fabric_text_lines(fabric: Dict[str, object]) -> List[str]:
+    """The terminal fabric section: totals, hottest links, glyph grid."""
+    topology = fabric["topology"]
+    lines = [
+        f"fabric: {topology['description']}",
+        (
+            f"  {fabric['packets_injected']} packets injected, "
+            f"{fabric['packets_delivered']} delivered, "
+            f"{fabric['hops_forwarded']} forwarded, "
+            f"{fabric['wire_bytes']} wire bytes"
+        ),
+    ]
+    if any(fabric["fault_totals"].values()):
+        lines.append(
+            "  faults: "
+            + ", ".join(
+                f"{kind} {count}"
+                for kind, count in sorted(fabric["fault_totals"].items())
+                if count
+            )
+        )
+    links = fabric["links"]
+    if not links:
+        return lines
+    top = hottest_links(fabric)
+    hottest = top[0]
+    if hottest["utilization"] > 0:
+        lines.append(
+            f"  hottest link: {hottest['name']} "
+            f"(utilization {hottest['utilization']:.1%}, "
+            f"wait {hottest['wait_ps']} ps, "
+            f"peak queue {hottest['peak_queue']})"
+        )
+    name_width = max(len(link["name"]) for link in top)
+    header = (
+        f"  {'link':<{name_width}} {'util':>6} {'msgs':>6} "
+        f"{'bytes':>9} {'wait ps':>10} {'peak q':>6} {'faults':>6}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for link in top:
+        faults = sum((link.get("faults") or {}).values())
+        lines.append(
+            f"  {link['name']:<{name_width}} {link['utilization']:>6.1%} "
+            f"{link['messages']:>6} {link['bytes']:>9} "
+            f"{link['wait_ps']:>10} {link['peak_queue']:>6} "
+            f"{faults:>6}"
+        )
+    dims = topology.get("dims")
+    if dims:
+        heat = node_heat(fabric)
+        peak = max(heat.values())
+        extent_x = dims[0]
+        extent_y = dims[1] if len(dims) > 1 else 1
+        planes = 1
+        for extent in dims[2:]:
+            planes *= extent
+        lines.append(
+            f"  node heatmap (glyph = hottest incident link, "
+            f"peak {peak:.1%}):"
+        )
+        for plane in range(planes):
+            if planes > 1:
+                lines.append(f"    z={plane}")
+            for y in range(extent_y):
+                row = []
+                for x in range(extent_x):
+                    node = x + extent_x * (y + extent_y * plane)
+                    row.append(_heat_glyph(heat[node], peak))
+                lines.append("    " + " ".join(row))
+    return lines
+
+
+_FABRIC_SVG_CELL = 72
+_FABRIC_SVG_PAD = 40
+
+
+def _fabric_svg(fabric: Dict[str, object]) -> str:
+    """An inline-SVG topology heatmap (grid presets only).
+
+    Planes of the (up to 3-D) grid render side by side; intra-plane
+    channels draw as lines colored by utilization, nodes as circles
+    filled by their hottest incident link; every element carries a
+    ``<title>`` tooltip with the exact numbers, so the picture and the
+    tables cannot disagree.
+    """
+    topology = fabric["topology"]
+    dims = topology.get("dims")
+    if not dims:
+        return ""
+    extent_x = dims[0]
+    extent_y = dims[1] if len(dims) > 1 else 1
+    planes = 1
+    for extent in dims[2:]:
+        planes *= extent
+    cell, pad = _FABRIC_SVG_CELL, _FABRIC_SVG_PAD
+
+    def position(node: int) -> Tuple[float, float]:
+        coords = _node_coords(node, dims)
+        x = coords[0]
+        y = coords[1] if len(coords) > 1 else 0
+        plane = 0
+        stride = 1
+        for c, extent in zip(coords[2:], dims[2:]):
+            plane += c * stride
+            stride *= extent
+        return (
+            pad + (x + plane * (extent_x + 1)) * cell,
+            pad + y * cell,
+        )
+
+    width = pad * 2 + cell * (planes * (extent_x + 1) - 1)
+    height = pad * 2 + cell * extent_y
+    heat = node_heat(fabric)
+    peak_util = max((link["utilization"] for link in fabric["links"]), default=0.0)
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        'font-family="ui-monospace, monospace" font-size="11">'
+    ]
+    # channels first (under the nodes); wraparound and inter-plane links
+    # would cross the picture, so only unit-distance intra-plane pairs
+    # draw -- their numbers still appear in the per-link table
+    for link in fabric["links"]:
+        ax, ay = position(link["src"])
+        bx, by = position(link["dst"])
+        if abs(ax - bx) > cell or abs(ay - by) > cell or (ax, ay) == (bx, by):
+            continue
+        # offset the two directions of a pair so both stay visible
+        dx, dy = (by - ay) / cell * 3, (bx - ax) / cell * 3
+        color = _heat_color(link["utilization"], peak_util)
+        stroke = 1.5 + (
+            4.5 * link["utilization"] / peak_util if peak_util else 0.0
+        )
+        title = html_mod.escape(
+            f"{link['name']}: utilization {link['utilization']:.1%}, "
+            f"{link['messages']} msgs, {link['bytes']} bytes, "
+            f"wait {link['wait_ps']} ps, peak queue {link['peak_queue']}"
+        )
+        parts.append(
+            f'<line x1="{ax + dx:.0f}" y1="{ay + dy:.0f}" '
+            f'x2="{bx + dx:.0f}" y2="{by + dy:.0f}" '
+            f'stroke="{color}" stroke-width="{stroke:.1f}">'
+            f"<title>{title}</title></line>"
+        )
+    peak_heat = max(heat.values(), default=0.0)
+    for node in range(topology["num_nodes"]):
+        x, y = position(node)
+        color = _heat_color(heat[node], peak_heat)
+        parts.append(
+            f'<circle cx="{x:.0f}" cy="{y:.0f}" r="12" fill="{color}">'
+            f"<title>node {node}: hottest incident link "
+            f"{heat[node]:.1%}</title></circle>"
+        )
+        parts.append(
+            f'<text x="{x:.0f}" y="{y + 4:.0f}" text-anchor="middle" '
+            f'fill="#fff">{node}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _fabric_html_parts(fabric: Dict[str, object]) -> List[str]:
+    """The HTML fabric section: totals, SVG heatmap, per-link table."""
+    esc = html_mod.escape
+    topology = fabric["topology"]
+    parts = [
+        "<h2>Fabric</h2>",
+        f"<p>{esc(topology['description'])}: "
+        f"{fabric['packets_injected']} packets injected, "
+        f"{fabric['packets_delivered']} delivered, "
+        f"{fabric['hops_forwarded']} forwarded, "
+        f"{fabric['wire_bytes']} wire bytes.</p>",
+    ]
+    if any(fabric["fault_totals"].values()):
+        parts.append(
+            "<p>faults: "
+            + ", ".join(
+                f"{esc(kind)} {count}"
+                for kind, count in sorted(fabric["fault_totals"].items())
+                if count
+            )
+            + "</p>"
+        )
+    links = fabric["links"]
+    if not links:
+        return parts
+    svg = _fabric_svg(fabric)
+    if svg:
+        parts.append(svg)
+    top = hottest_links(fabric)
+    if top[0]["utilization"] > 0:
+        parts.append(
+            f"<p>hottest link <span class='mono'>{esc(top[0]['name'])}"
+            f"</span> at {top[0]['utilization']:.1%} utilization.</p>"
+        )
+    parts.append(
+        "<table><thead><tr><th>link</th><th>util</th><th>msgs</th>"
+        "<th>bytes</th><th>wait ps</th><th>peak queue</th><th>faults</th>"
+        "</tr></thead><tbody>"
+    )
+    for link in top:
+        faults = sum((link.get("faults") or {}).values())
+        parts.append(
+            f"<tr><td class='mono'>{esc(link['name'])}</td>"
+            f"<td>{link['utilization']:.1%}</td>"
+            f"<td>{link['messages']}</td><td>{link['bytes']}</td>"
+            f"<td>{link['wait_ps']}</td><td>{link['peak_queue']}</td>"
+            f"<td>{faults}</td></tr>"
+        )
+    parts.append("</tbody></table>")
+    return parts
+
+
 # ------------------------------------------------------------ text render
 def render_text(document: Dict[str, object]) -> str:
     """The terminal rendering of one (folded or raw) artifact."""
@@ -189,6 +455,10 @@ def render_text(document: Dict[str, object]) -> str:
                 f"last {row['last']:g} "
                 f"({row['windows']} x {row['window_us']:g} us)"
             )
+    fabric = document.get("fabric")
+    if fabric:
+        lines.append("")
+        lines.extend(_fabric_text_lines(fabric))
     attribution = document.get("attribution")
     if attribution:
         lines.append("")
@@ -323,6 +593,10 @@ def render_html(document: Dict[str, object]) -> str:
                 "</tr>"
             )
         parts.append("</tbody></table>")
+
+    fabric = document.get("fabric")
+    if fabric:
+        parts.extend(_fabric_html_parts(fabric))
 
     attribution = document.get("attribution")
     if attribution:

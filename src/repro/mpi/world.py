@@ -137,8 +137,14 @@ class MpiWorld:
             FaultModel(config.faults) if config.faults is not None else None
         )
         self.fabric = Fabric(
-            self.engine, num_nodes, config.fabric, faults=self.fault_model
+            self.engine,
+            num_nodes,
+            config.fabric,
+            faults=self.fault_model,
+            observe_hops=getattr(telemetry, "fabric_obs", False),
         )
+        if telemetry is not None and hasattr(telemetry, "attach_fabric_source"):
+            telemetry.attach_fabric_source(self.fabric.snapshot)
         self.comm_world: Communicator = make_world_comm(config.num_ranks)
         self.nics: List[Nic] = []
         self.hosts: List[Host] = []
@@ -245,6 +251,7 @@ class MpiWorld:
             # the congestion signal worth windowing; the crossbar's
             # dedicated wires skip this (and keep its pinned telemetry
             # documents bit-identical to the pre-topology fabric)
+            fabric_obs = getattr(telemetry, "fabric_obs", False)
             for link in self.fabric.links:
                 probe.add(
                     "network",
@@ -252,6 +259,25 @@ class MpiWorld:
                     (lambda lnk=link: lnk.utilization()),
                     series=f"{link.name}/util",
                 )
+                if fabric_obs:
+                    # congestion substrate for the fabric watchdogs:
+                    # instantaneous backlog and cumulative contention
+                    # wait per channel (opt-in with fabric observability
+                    # so pre-existing timeline documents keep their
+                    # series set)
+                    probe.add(
+                        "network",
+                        f"{link.name}.queue",
+                        (lambda lnk=link: lnk.queue_depth),
+                        series=f"{link.name}/queue",
+                    )
+                    probe.add(
+                        "network",
+                        f"{link.name}.wait",
+                        (lambda lnk=link: lnk.wait_ps),
+                        series=f"{link.name}/wait",
+                        mode="cumulative",
+                    )
         probe.add(
             "engine",
             "events",

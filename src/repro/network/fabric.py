@@ -82,6 +82,7 @@ class Fabric(Component):
         config: Optional[FabricConfig] = None,
         name: str = "fabric",
         faults: Optional[FaultModel] = None,
+        observe_hops: bool = False,
     ) -> None:
         super().__init__(engine, name)
         if num_nodes <= 0:
@@ -92,6 +93,13 @@ class Fabric(Component):
         #: optional fault oracle, consulted once per hop; when None (or
         #: idle) every hop is the historical single-send path, bit-for-bit
         self.faults = faults
+        #: fabric observability: when True (and a lifecycle recorder is
+        #: attached) every hop decomposes into ``hop_wait`` /
+        #: ``hop_serialize`` / ``hop_transit`` lifecycle marks whose
+        #: residencies telescope exactly over the former ``wire`` stage.
+        #: Off by default so the pinned attribution tables keep their
+        #: historical single-``wire`` shape.
+        self.observe_hops = observe_hops
         #: one receive FIFO per node; the NIC's Rx side drains it
         self.rx_fifos: List[Fifo] = [
             Fifo(name=f"{name}.rx{i}") for i in range(num_nodes)
@@ -122,6 +130,17 @@ class Fabric(Component):
         #: packets actually landed in a destination's rx FIFO (duplicates
         #: count per landing; dropped packets never count)
         self.packets_delivered = 0
+        #: store-and-forward handoffs (multi-hop presets only)
+        self.hops_forwarded = 0
+        #: fabric-scope fault tallies (plain ints; the metrics counters
+        #: mirror them when a registry is enabled)
+        self.fault_totals: Dict[str, int] = {
+            "dropped": 0, "duplicated": 0, "delayed": 0, "corrupted": 0
+        }
+        #: per-link fault tallies, keyed by link name -- lets heatmaps
+        #: and watchdogs localize a faulty channel instead of seeing one
+        #: fabric-wide aggregate (populated lazily, fault runs only)
+        self.link_faults: Dict[str, Dict[str, int]] = {}
         #: packets committed to a wire but not yet delivered (duplicates
         #: count twice, dropped packets leave the count) -- a plain
         #: counter kept exact by inject/forward/delivery, probed by the
@@ -147,8 +166,84 @@ class Fabric(Component):
                     f"{link.name}/utilization",
                     lambda lnk=link: lnk.utilization(),
                 )
+            if faults is not None:
+                # per-link fault localization (snapshot-time collectors
+                # over the lazy tallies; registered only on fault runs so
+                # fault-free snapshots keep their historical key set)
+                for link in self._links.values():
+                    for kind in ("dropped", "duplicated", "delayed", "corrupted"):
+                        registry.register_collector(
+                            f"{link.name}/faults_{kind}",
+                            lambda lnk=link, k=kind: self.link_faults.get(
+                                lnk.name, {}
+                            ).get(k, 0),
+                        )
 
     # ------------------------------------------------------------ injection
+    def _fault(self, link: Link, kind: str, counter) -> None:
+        """Count one fault verdict at fabric scope and against ``link``."""
+        counter.inc()
+        self.fault_totals[kind] += 1
+        per_link = self.link_faults.get(link.name)
+        if per_link is None:
+            per_link = self.link_faults[link.name] = {
+                "dropped": 0, "duplicated": 0, "delayed": 0, "corrupted": 0
+            }
+        per_link[kind] += 1
+
+    def _send_hop(self, link: Link, packet: Packet) -> None:
+        """Commit ``packet`` to ``link``; mark the hop when observed.
+
+        The three marks carry *computed* timestamps known at commit time
+        (``Link.send`` returns the delivery instant): contention wait
+        runs now -> serialization start, serialization start -> end, and
+        head latency end -> delivery -- so the hop's budget telescopes
+        exactly onto the channel's actual schedule without a single extra
+        simulated event (the zero-perturbation guarantee).
+        """
+        deliver_at = link.send(packet, packet.wire_bytes)
+        if self.observe_hops:
+            lifecycle = self.engine.lifecycle
+            if lifecycle.enabled:
+                now = self.engine.now
+                occupancy = link.occupancy_ps(packet.wire_bytes)
+                start = deliver_at - link.latency_ps - occupancy
+                uid = packet.send_id
+                lifecycle.mark_uid_clamped(
+                    uid,
+                    "hop_wait",
+                    now,
+                    {"link": link.name, "wait_ps": start - now},
+                )
+                lifecycle.mark_uid_clamped(
+                    uid,
+                    "hop_serialize",
+                    start,
+                    {
+                        "link": link.name,
+                        "serialize_ps": occupancy,
+                        "bytes": packet.wire_bytes,
+                    },
+                )
+                lifecycle.mark_uid_clamped(
+                    uid,
+                    "hop_transit",
+                    start + occupancy,
+                    {"link": link.name, "transit_ps": link.latency_ps},
+                )
+
+    def _mark_fault_delay(self, link: Link, packet: Packet, delay_ps: int) -> None:
+        """A reorder-delay verdict held the packet back before this hop."""
+        if self.observe_hops:
+            lifecycle = self.engine.lifecycle
+            if lifecycle.enabled:
+                lifecycle.mark_uid_clamped(
+                    packet.send_id,
+                    "hop_fault_delay",
+                    self.engine.now,
+                    {"link": link.name, "delay_ps": delay_ps},
+                )
+
     def inject(self, packet: Packet) -> Packet:
         """Send a packet; returns the (sequence-stamped) packet injected."""
         if not 0 <= packet.src < self.num_nodes:
@@ -170,7 +265,7 @@ class Fabric(Component):
         if verdict is Verdict.DROP:
             # swallowed by the wire: no link traffic, no delivery.  The
             # sender's reliability layer (if any) recovers via timeout.
-            self._m_dropped.inc()
+            self._fault(link, "dropped", self._m_dropped)
             lifecycle = self.engine.lifecycle
             if lifecycle.enabled:
                 lifecycle.mark_uid(
@@ -192,24 +287,12 @@ class Fabric(Component):
             stamped = dataclasses.replace(
                 stamped, match_bits=self.faults.corrupt_bits(stamped.match_bits)
             )
-            self._m_corrupted.inc()
+            self._fault(link, "corrupted", self._m_corrupted)
         wire_bytes = stamped.wire_bytes
-        if verdict is Verdict.DELAY:
-            # hold the packet back long enough for later traffic on the
-            # same pair to overtake it: a genuine reorder at the receiver
-            self._m_delayed.inc()
-            delay_ps = self.faults.config.reorder_delay_ps
-            self.in_flight += 1
-            self.engine.schedule(
-                delay_ps, lambda p=stamped: link.send(p, p.wire_bytes)
-            )
-        else:
-            self.in_flight += 1
-            link.send(stamped, wire_bytes)
-            if verdict is Verdict.DUPLICATE:
-                self._m_duplicated.inc()
-                self.in_flight += 1
-                link.send(stamped, wire_bytes)
+        # the wire mark lands *before* the hop marks: with fabric
+        # observability on its residency collapses to zero and the hop
+        # stages carry the decomposed budget (identical timestamp and
+        # content either way)
         lifecycle = self.engine.lifecycle
         if lifecycle.enabled:
             lifecycle.mark_uid(
@@ -222,6 +305,23 @@ class Fabric(Component):
                     "bytes": stamped.wire_bytes,
                 },
             )
+        if verdict is Verdict.DELAY:
+            # hold the packet back long enough for later traffic on the
+            # same pair to overtake it: a genuine reorder at the receiver
+            self._fault(link, "delayed", self._m_delayed)
+            delay_ps = self.faults.config.reorder_delay_ps
+            self._mark_fault_delay(link, stamped, delay_ps)
+            self.in_flight += 1
+            self.engine.schedule(
+                delay_ps, lambda p=stamped, lk=link: self._send_hop(lk, p)
+            )
+        else:
+            self.in_flight += 1
+            self._send_hop(link, stamped)
+            if verdict is Verdict.DUPLICATE:
+                self._fault(link, "duplicated", self._m_duplicated)
+                self.in_flight += 1
+                self._send_hop(link, stamped)
         self._m_packets.inc()
         self._m_bytes.inc(wire_bytes)
         tracer = self.engine.tracer
@@ -257,9 +357,10 @@ class Fabric(Component):
         link = self._links[(node, self.topology.next_hop(node, packet.dst))]
         verdict = Verdict.DELIVER if self.faults is None else self.faults.judge(packet)
         self._m_forwards.inc()
+        self.hops_forwarded += 1
         if verdict is Verdict.DROP:
             self.in_flight -= 1
-            self._m_dropped.inc()
+            self._fault(link, "dropped", self._m_dropped)
             lifecycle = self.engine.lifecycle
             if lifecycle.enabled:
                 lifecycle.mark_uid(
@@ -288,19 +389,21 @@ class Fabric(Component):
             packet = dataclasses.replace(
                 packet, match_bits=self.faults.corrupt_bits(packet.match_bits)
             )
-            self._m_corrupted.inc()
+            self._fault(link, "corrupted", self._m_corrupted)
         if verdict is Verdict.DELAY:
-            self._m_delayed.inc()
+            self._fault(link, "delayed", self._m_delayed)
+            delay_ps = self.faults.config.reorder_delay_ps
+            self._mark_fault_delay(link, packet, delay_ps)
             self.engine.schedule(
-                self.faults.config.reorder_delay_ps,
-                lambda p=packet: link.send(p, p.wire_bytes),
+                delay_ps,
+                lambda p=packet, lk=link: self._send_hop(lk, p),
             )
         else:
-            link.send(packet, packet.wire_bytes)
+            self._send_hop(link, packet)
             if verdict is Verdict.DUPLICATE:
-                self._m_duplicated.inc()
+                self._fault(link, "duplicated", self._m_duplicated)
                 self.in_flight += 1
-                link.send(packet, packet.wire_bytes)
+                self._send_hop(link, packet)
 
     def _notify(self, dst: int, packet: Packet) -> None:
         self.in_flight -= 1
@@ -324,6 +427,66 @@ class Fabric(Component):
     def rx_fifo(self, node: int) -> Fifo:
         """The receive FIFO the NIC of ``node`` polls."""
         return self.rx_fifos[node]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-serializable picture of the fabric's state.
+
+        This is the ``fabric`` section of the unified run report: the
+        topology, per-link traffic/contention/fault tallies, and the
+        per-pair traffic matrix with each pair's pinned route (off the
+        topology's shared :meth:`~repro.network.topology.Topology.
+        route_table`).  Pure reads; safe to take at any time.
+        """
+        now = self.engine.now
+        links: List[Dict[str, object]] = []
+        for (u, v), link in self._links.items():
+            if u == v:
+                continue
+            faults = self.link_faults.get(link.name)
+            links.append(
+                {
+                    "src": u,
+                    "dst": v,
+                    "name": link.name,
+                    "messages": link.messages_sent,
+                    "bytes": link.bytes_sent,
+                    "busy_ps": link.busy_ps,
+                    "wait_ps": link.wait_ps,
+                    "utilization": link.utilization(),
+                    "peak_queue": link.peak_queue,
+                    "faults": dict(faults) if faults else None,
+                }
+            )
+        routes = self.topology.route_table()
+        pairs = [
+            {
+                "src": src,
+                "dst": dst,
+                "packets": count,
+                "hops": len(routes[(src, dst)]) if src != dst else 1,
+                "route": list(routes[(src, dst)]) if src != dst else [dst],
+            }
+            for (src, dst), count in sorted(self._seq.items())
+        ]
+        topology = self.topology
+        return {
+            "topology": {
+                "preset": topology.preset,
+                "dims": list(topology.dims) if topology.dims else None,
+                "num_nodes": topology.num_nodes,
+                "diameter": topology.diameter(),
+                "description": topology.describe(),
+            },
+            "now_ps": now,
+            "packets_injected": self.packets_injected,
+            "packets_delivered": self.packets_delivered,
+            "hops_forwarded": self.hops_forwarded,
+            "in_flight": self.in_flight,
+            "wire_bytes": sum(link["bytes"] for link in links),
+            "fault_totals": dict(self.fault_totals),
+            "links": links,
+            "pairs": pairs,
+        }
 
     def subscribe_rx(self, node: int, callback) -> None:
         """Call ``callback(packet)`` whenever a packet lands at ``node``.

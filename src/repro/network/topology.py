@@ -37,7 +37,7 @@ self traffic keeps the dedicated-wire behaviour of the crossbar.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 #: the supported topology presets
 TOPOLOGY_PRESETS = ("crossbar", "ring", "mesh2d", "torus3d")
@@ -143,6 +143,10 @@ class Topology:
         #: fabric built its wires; for grids, per-node self-channel then
         #: sorted neighbours
         self.channels: List[Tuple[int, int]] = self._build_channels()
+        # lazy caches: diameter is an O(n * dims) scan and the route table
+        # an O(n^2 * diameter) walk; describe()/reports call both freely
+        self._diameter: Optional[int] = None
+        self._route_table: Optional[Dict[Tuple[int, int], Tuple[int, ...]]] = None
 
     @staticmethod
     def build(config: TopologyConfig, num_nodes: int) -> "Topology":
@@ -268,14 +272,34 @@ class Topology:
         return total
 
     def diameter(self) -> int:
-        """Worst-case hop count between distinct nodes."""
-        if self.num_nodes == 1:
-            return 0
-        if self.preset == "crossbar":
-            return 1
-        return max(
-            self.min_hops(0, dst) for dst in range(1, self.num_nodes)
-        )
+        """Worst-case hop count between distinct nodes (cached)."""
+        if self._diameter is None:
+            if self.num_nodes == 1:
+                self._diameter = 0
+            elif self.preset == "crossbar":
+                self._diameter = 1
+            else:
+                self._diameter = max(
+                    self.min_hops(0, dst) for dst in range(1, self.num_nodes)
+                )
+        return self._diameter
+
+    def route_table(self) -> Dict[Tuple[int, int], Tuple[int, ...]]:
+        """``{(src, dst): route}`` for every distinct ordered pair, cached.
+
+        Each route is the :meth:`route` value -- the nodes visited after
+        ``src``, ending at ``dst``.  The fabric CLI and the heatmap
+        renderer share this one walk instead of re-deriving the path per
+        pair per rendering.
+        """
+        if self._route_table is None:
+            self._route_table = {
+                (src, dst): tuple(self.route(src, dst))
+                for src in range(self.num_nodes)
+                for dst in range(self.num_nodes)
+                if src != dst
+            }
+        return self._route_table
 
     def describe(self) -> str:
         """One human-readable line (examples / reports)."""

@@ -42,6 +42,7 @@ from repro.obs.health import (
     DerivativeWatchdog,
     HealthFinding,
     HealthMonitor,
+    ImbalanceWatchdog,
     MetricWatchdog,
     SEVERITIES,
     StallWatchdog,
@@ -77,6 +78,7 @@ __all__ = [
     "DerivativeWatchdog",
     "HealthFinding",
     "HealthMonitor",
+    "ImbalanceWatchdog",
     "MetricWatchdog",
     "SEVERITIES",
     "StallWatchdog",

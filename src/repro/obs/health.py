@@ -335,6 +335,71 @@ class StallWatchdog(Watchdog):
         return []
 
 
+class ImbalanceWatchdog(Watchdog):
+    """Cross-series skew: one series carries far more than its peers.
+
+    Compares the end-of-run ``stat`` value *across* every series
+    matching ``pattern`` (at least ``min_series`` of them, so a 2-rank
+    ring cannot trip it): fires when the hottest series reaches at least
+    ``ratio`` times the mean of all matched series and at least
+    ``floor`` absolutely.  With per-link utilization series this is the
+    route-imbalance detector: dimension-ordered routing concentrating
+    traffic onto one channel while its peers idle.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        pattern: str,
+        *,
+        stat: str = "last",
+        ratio: float,
+        floor: float = 0.0,
+        min_series: int = 4,
+        severity: str = "warning",
+    ) -> None:
+        super().__init__(code, severity)
+        self.pattern = pattern
+        self.stat = stat
+        self.ratio = ratio
+        self.floor = floor
+        self.min_series = min_series
+
+    def evaluate(self, timeline, metrics) -> List[HealthFinding]:
+        names = _match_series(timeline, self.pattern)
+        if len(names) < self.min_series:
+            return []
+        finals: List[Tuple[str, float, int]] = []
+        for name in names:
+            series = timeline.get(name)
+            points = series.points(self.stat)
+            if points:
+                finals.append((name, points[-1][1], points[-1][0]))
+        if len(finals) < self.min_series:
+            return []
+        mean = sum(value for _, value, _ in finals) / len(finals)
+        name, top, start_ps = max(finals, key=lambda item: item[1])
+        if mean <= 0 or top < self.floor or top < self.ratio * mean:
+            return []
+        window = timeline.get(name).window_ps
+        return [
+            HealthFinding(
+                code=self.code,
+                severity=self.severity,
+                series=name,
+                start_ps=start_ps,
+                end_ps=start_ps + window,
+                value=top,
+                threshold=self.ratio * mean,
+                message=(
+                    f"{name} {self.stat} = {top:g}, "
+                    f"{top / mean:.1f}x the mean of {len(finals)} "
+                    f"peer series (>= {self.ratio:g}x)"
+                ),
+            )
+        ]
+
+
 class MetricWatchdog(Watchdog):
     """An end-of-run metrics value at/above ``threshold``.
 
@@ -401,6 +466,23 @@ BACKLOG_SUSTAIN_PS = 8_000_000
 REORDER_STALL_PS = 12_000_000
 #: how long the engine may fire events with zero completions (ps)
 LIVELOCK_SUSTAIN_PS = 500_000_000
+#: per-link utilization that makes a channel a hotspot when sustained
+#: (clean halo traffic is bursty: links idle between iterations, so
+#: sustained near-saturation means an incast is parked on the channel)
+HOTSPOT_UTILIZATION = 0.6
+#: how long a link must stay that hot (ps)
+HOTSPOT_SUSTAIN_PS = 3_000_000
+#: link backlog (messages queued on one channel) that counts as
+#: contention when it never drains below this across the sustain span
+CONTENTION_QUEUE_DEPTH = 3.0
+#: how long the backlog must persist (ps)
+CONTENTION_SUSTAIN_PS = 3_000_000
+#: hottest-link utilization vs the fleet mean that counts as imbalance
+IMBALANCE_RATIO = 4.0
+#: ... provided the hot link is actually busy (absolute floor)
+IMBALANCE_FLOOR = 0.25
+#: and there are enough channels for "imbalance" to mean anything
+IMBALANCE_MIN_SERIES = 8
 
 
 def default_watchdogs() -> List[Watchdog]:
@@ -446,6 +528,34 @@ def default_watchdogs() -> List[Watchdog]:
             "engine/events",
             sustain_ps=LIVELOCK_SUSTAIN_PS,
             severity="critical",
+        ),
+        # fabric congestion battery: the ``*.wire*/util`` series exist on
+        # routed presets only and ``*.wire*/queue`` only with fabric
+        # observability on, so crossbar / legacy runs cannot trip these
+        ThresholdWatchdog(
+            "hotspot_link",
+            "*.wire*/util",
+            stat="last",
+            threshold=HOTSPOT_UTILIZATION,
+            sustain_ps=HOTSPOT_SUSTAIN_PS,
+            severity="warning",
+        ),
+        ThresholdWatchdog(
+            "link_contention",
+            "*.wire*/queue",
+            stat="min",
+            threshold=CONTENTION_QUEUE_DEPTH,
+            sustain_ps=CONTENTION_SUSTAIN_PS,
+            severity="warning",
+        ),
+        ImbalanceWatchdog(
+            "route_imbalance",
+            "*.wire*/util",
+            stat="last",
+            ratio=IMBALANCE_RATIO,
+            floor=IMBALANCE_FLOOR,
+            min_series=IMBALANCE_MIN_SERIES,
+            severity="info",
         ),
     ]
 

@@ -312,6 +312,30 @@ class LifecycleRecorder:
         if lifecycle is not None and lifecycle.marks:
             self._annotate_last(lifecycle, facts)
 
+    def mark_uid_clamped(
+        self,
+        uid: int,
+        stage: str,
+        time_ps: int,
+        detail: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """:meth:`mark_uid` with an explicit time clamped monotone.
+
+        The fabric's per-hop marks carry *computed* timestamps (a hop's
+        serialization start/end are known at injection, ahead of the
+        clock), so a mark that lands after an interleaved event -- e.g. a
+        retransmission of the same message re-entering the wire -- could
+        otherwise step behind the record's last mark.  Clamping to the
+        last mark time keeps every lifecycle monotone without perturbing
+        the telescoping sums (bounding marks are never clamped forward).
+        """
+        lifecycle = self._by_uid.get(uid)
+        if lifecycle is None:
+            return
+        if lifecycle.marks and time_ps < lifecycle.marks[-1].time_ps:
+            time_ps = lifecycle.marks[-1].time_ps
+        self._mark(lifecycle, stage, time_ps, detail)
+
     def watch_completion(self, rank: int, req_id: int, uid: int) -> None:
         """Terminal-mark ``uid``'s message when this receive completes."""
         lifecycle = self._by_uid.get(uid)
@@ -447,6 +471,9 @@ class NullLifecycleRecorder:
         pass
 
     def annotate_uid(self, uid, **facts) -> None:
+        pass
+
+    def mark_uid_clamped(self, uid, stage, time_ps, detail=None) -> None:
         pass
 
     def watch_completion(self, rank, req_id, uid) -> None:

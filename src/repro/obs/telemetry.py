@@ -37,7 +37,7 @@ from repro.obs.tracer import Tracer
 #: schema version of :meth:`Telemetry.report` documents (and of the
 #: sweep telemetry dumps that embed them); bump on shape changes so
 #: :mod:`repro.analysis` can dispatch
-REPORT_VERSION = 2
+REPORT_VERSION = 3
 
 
 class Telemetry:
@@ -53,6 +53,7 @@ class Telemetry:
         profile: bool = False,
         timeline: bool = False,
         health: bool = False,
+        fabric: bool = False,
     ) -> None:
         self.metrics = MetricsRegistry() if metrics else None
         self.tracer = Tracer() if tracing else None
@@ -69,6 +70,28 @@ class Telemetry:
         if health and self.timeline is None:
             self.timeline = Timeline()
         self.health = HealthMonitor() if health else None
+        #: fabric observability: the world passes this through as the
+        #: fabric's ``observe_hops`` (per-hop lifecycle marks) and
+        #: attaches the fabric's :meth:`~repro.network.fabric.Fabric.
+        #: snapshot` so the report carries a ``fabric`` section.
+        #: Per-hop marks need the lifecycle recorder to land anywhere.
+        self.fabric_obs = fabric
+        self._fabric_source = None
+
+    # ------------------------------------------------------------- wiring
+    def attach_fabric_source(self, source) -> None:
+        """Register a zero-argument callable returning the fabric snapshot.
+
+        Called by the world after it builds its fabric; harmless to skip
+        (the report's ``fabric`` section stays ``None``).
+        """
+        self._fabric_source = source
+
+    def fabric_snapshot(self) -> Optional[dict]:
+        """The attached fabric's snapshot, or ``None`` when not wired."""
+        if not self.fabric_obs or self._fabric_source is None:
+            return None
+        return self._fabric_source()
 
     # ------------------------------------------------------------- outputs
     def snapshot(self) -> Dict[str, object]:
@@ -131,18 +154,19 @@ class Telemetry:
         return document
 
     def report(self, **meta) -> dict:
-        """The unified, JSON-serializable run report (schema v2).
+        """The unified, JSON-serializable run report (schema v3).
 
         Always carries ``version``, ``meta``, ``metrics``, ``health``
         (findings + verdict; empty/healthy when the monitor is off).
-        ``timeline``, ``lifecycles`` and ``profile`` appear when their
-        collectors are enabled, else ``None`` -- the renderer in
-        :mod:`repro.analysis.report` folds whatever is present.
+        ``timeline``, ``lifecycles``, ``profile`` and ``fabric`` appear
+        when their collectors are enabled, else ``None`` -- the renderer
+        in :mod:`repro.analysis.report` folds whatever is present.
         """
         return {
             "version": REPORT_VERSION,
             "meta": dict(meta),
             "metrics": self.snapshot(),
+            "fabric": self.fabric_snapshot(),
             "timeline": (
                 self.timeline.to_obj() if self.timeline is not None else None
             ),

@@ -62,6 +62,11 @@ class Link(Component):
         self.bytes_sent = 0
         #: cumulative serialization occupancy (utilization numerator)
         self.busy_ps = 0
+        #: cumulative contention wait: time messages spent queued behind
+        #: earlier traffic before starting to serialize
+        self.wait_ps = 0
+        #: high-water mark of simultaneously in-flight messages
+        self.peak_queue = 0
 
     def occupancy_ps(self, size_bytes: int) -> int:
         """Serialization time for a message of ``size_bytes``."""
@@ -90,7 +95,15 @@ class Link(Component):
         self.messages_sent += 1
         self.bytes_sent += size_bytes
         self.busy_ps += occupancy
+        self.wait_ps += start - now
+        if len(self._pending) > self.peak_queue:
+            self.peak_queue = len(self._pending)
         return deliver_at
+
+    @property
+    def queue_depth(self) -> int:
+        """Messages committed to the link but not yet delivered."""
+        return len(self._pending)
 
     def utilization(self) -> float:
         """Fraction of elapsed sim time spent serializing (0.0 at t=0)."""

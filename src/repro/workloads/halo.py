@@ -50,6 +50,13 @@ class HaloParams:
     message_size: int = 512
     iterations: int = 3
     warmup: int = 1
+    #: optional incast: every other rank additionally sends
+    #: ``hotspot_size`` bytes to this rank per iteration, concentrating
+    #: traffic on the channels into it -- the injected-contention
+    #: scenario the fabric observability layer exists to attribute.
+    #: ``None`` (the default) keeps the pinned benchmark pattern.
+    hotspot_rank: Optional[int] = None
+    hotspot_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.ranks < 2:
@@ -61,6 +68,15 @@ class HaloParams:
             )
         if self.message_size < 0 or self.iterations < 1 or self.warmup < 0:
             raise ValueError(f"invalid parameters: {self}")
+        if self.hotspot_rank is not None and not (
+            0 <= self.hotspot_rank < self.ranks
+        ):
+            raise ValueError(
+                f"hotspot_rank {self.hotspot_rank} out of range for "
+                f"{self.ranks} ranks"
+            )
+        if self.hotspot_size < 0:
+            raise ValueError(f"invalid hotspot_size: {self.hotspot_size}")
 
 
 @dataclasses.dataclass
@@ -163,6 +179,22 @@ def run_halo(
                         )
                     )
                 )
+            # incast: tag slot 6 of the block (directions use 0-5, so the
+            # hotspot stream cannot collide with a face exchange)
+            if params.hotspot_rank is not None:
+                if mpi.rank == params.hotspot_rank:
+                    for peer in range(params.ranks):
+                        if peer == mpi.rank:
+                            continue
+                        requests.append(
+                            (
+                                yield from mpi.irecv(
+                                    source=peer,
+                                    tag=tag_base + 6,
+                                    size=params.hotspot_size,
+                                )
+                            )
+                        )
             for k, peer in enumerate(peers):
                 if peer == mpi.rank:
                     continue
@@ -172,6 +204,19 @@ def run_halo(
                             dest=peer,
                             tag=tag_base + k,
                             size=params.message_size,
+                        )
+                    )
+                )
+            if (
+                params.hotspot_rank is not None
+                and mpi.rank != params.hotspot_rank
+            ):
+                requests.append(
+                    (
+                        yield from mpi.isend(
+                            dest=params.hotspot_rank,
+                            tag=tag_base + 6,
+                            size=params.hotspot_size,
                         )
                     )
                 )
@@ -253,10 +298,127 @@ def _smoke() -> None:
     )
 
 
+def _congestion_smoke(artifact_dir: str = "congestion-artifacts") -> None:
+    """The CI fabric-observability step: incast contention on a torus.
+
+    Covers, in one run each:
+
+    * the zero-perturbation gate -- the pinned torus3d halo point with
+      the *full* observability stack on must stay bit-identical to
+      ``BENCH_baseline.json`` (captured with everything off);
+    * the telescoping decomposition -- every wire traversal's per-hop
+      budget sums exactly to its span (asserted inside
+      :func:`~repro.analysis.attribution.wire_segments`);
+    * congestion attribution -- the injected incast must trip the
+      ``hotspot_link`` watchdog and the heatmap report must name the
+      hottest channel;
+    * the artifacts -- the JSON report, the HTML heatmap page, and the
+      fabric CLI tables land in ``artifact_dir`` for CI upload.
+    """
+    import html as html_mod
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.analysis.attribution import link_budgets, wire_segments
+    from repro.analysis.fabric import format_fabric
+    from repro.analysis.report import render_html, render_text
+    from repro.obs.health import has_finding
+    from repro.obs.telemetry import Telemetry
+    from repro.workloads.sweep import nic_preset
+
+    os.makedirs(artifact_dir, exist_ok=True)
+    pinned_params = HaloParams(
+        ranks=16, topology="torus3d", message_size=512, iterations=3, warmup=1
+    )
+
+    # 1. zero-perturbation gate against the pinned grid
+    baseline_path = Path(__file__).resolve().parents[3] / "BENCH_baseline.json"
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        grid = json.load(handle)["grid"]
+    pinned = next(
+        row
+        for row in grid
+        if row["id"] == "halo/alpu128/message_size=512_ranks=16_topology=torus3d"
+    )
+    bundle = Telemetry(
+        tracing=False, timeline=True, health=True, lifecycle=True, fabric=True
+    )
+    observed = run_halo(nic_preset("alpu128"), pinned_params, telemetry=bundle)
+    assert observed.latencies_ns == pinned["latencies_ns"], (
+        "fabric observability perturbed the pinned point: "
+        f"{observed.latencies_ns} != {pinned['latencies_ns']}"
+    )
+
+    # 2. telescoping: every wire traversal decomposes exactly
+    segments = 0
+    for lifecycle in bundle.lifecycle.lifecycles:
+        if lifecycle.complete:
+            segments += len(wire_segments(lifecycle))
+    assert segments > 0, "no wire segments recorded with fabric obs on"
+
+    # 3. the incast scenario must produce an attributed hotspot
+    hot_params = dataclasses.replace(
+        pinned_params, hotspot_rank=0, hotspot_size=4096
+    )
+    hot = Telemetry(
+        tracing=False, timeline=True, health=True, lifecycle=True, fabric=True
+    )
+    run_halo(nic_preset("alpu128"), hot_params, telemetry=hot)
+    findings = [f.to_obj() for f in hot.health_findings()]
+    assert has_finding(findings, "hotspot_link"), findings
+    assert has_finding(findings, "link_contention"), findings
+
+    # 4. artifacts: JSON report, HTML heatmap, fabric CLI tables
+    report = hot.write_report(
+        os.path.join(artifact_dir, "congestion.report.json"),
+        benchmark="halo",
+        scenario="incast",
+        ranks=hot_params.ranks,
+        topology=hot_params.topology,
+        hotspot_rank=hot_params.hotspot_rank,
+    )
+    text = render_text(report)
+    assert "hottest link" in text, "heatmap report names no hotspot"
+    html = render_html(report)
+    hottest = max(report["fabric"]["links"], key=lambda l: l["utilization"])
+    assert html_mod.escape(hottest["name"]) in html, (
+        "HTML heatmap misses the hotspot link"
+    )
+    with open(
+        os.path.join(artifact_dir, "congestion.report.html"),
+        "w",
+        encoding="utf-8",
+    ) as handle:
+        handle.write(html)
+        handle.write("\n")
+    tables = format_fabric(
+        report["fabric"],
+        budgets=link_budgets(hot.lifecycle.lifecycles),
+        title="congestion smoke: halo incast on torus3d",
+    )
+    with open(
+        os.path.join(artifact_dir, "congestion.tables.txt"),
+        "w",
+        encoding="utf-8",
+    ) as handle:
+        handle.write(tables)
+        handle.write("\n")
+    print(tables)
+    print(
+        f"congestion smoke OK: pinned point bit-identical with full obs on, "
+        f"{segments} wire segments telescoped, hotspot {hottest['name']} at "
+        f"{hottest['utilization']:.1%} utilization "
+        f"({len(findings)} finding(s)); artifacts in {artifact_dir}/"
+    )
+
+
 if __name__ == "__main__":
     import sys
 
-    if "--smoke" in sys.argv[1:]:
+    if "--congestion-smoke" in sys.argv[1:]:
+        _congestion_smoke()
+    elif "--smoke" in sys.argv[1:]:
         _smoke()
     else:
         print(__doc__)

@@ -80,6 +80,8 @@ class PrepostedRow:
     #: watchdog verdict+findings (``telemetry=True`` sweeps only):
     #: ``{"verdict": str, "findings": [HealthFinding.to_obj(), ...]}``
     health: Optional[Dict[str, object]] = None
+    #: fabric snapshot (sweeps with ``fabric=True`` only)
+    fabric: Optional[Dict[str, object]] = None
 
 
 @dataclasses.dataclass
@@ -97,6 +99,8 @@ class UnexpectedRow:
     #: watchdog verdict+findings (``telemetry=True`` sweeps only):
     #: ``{"verdict": str, "findings": [HealthFinding.to_obj(), ...]}``
     health: Optional[Dict[str, object]] = None
+    #: fabric snapshot (sweeps with ``fabric=True`` only)
+    fabric: Optional[Dict[str, object]] = None
 
 
 @dataclasses.dataclass
@@ -114,6 +118,10 @@ class HaloRow:
     attribution: Optional[Dict[str, object]] = None
     #: watchdog verdict+findings (``telemetry=True`` sweeps only)
     health: Optional[Dict[str, object]] = None
+    #: fabric snapshot (sweeps with ``fabric=True`` only): per-link
+    #: traffic/contention tallies plus the route table, the input of
+    #: ``python -m repro.analysis.fabric --row N``
+    fabric: Optional[Dict[str, object]] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -168,6 +176,11 @@ class SweepSpec:
     #: report (:func:`repro.analysis.attribution.attribute_run`) to each
     #: row's ``attribution`` field
     lifecycle: bool = False
+    #: fabric observability: per-hop lifecycle marks (with
+    #: ``lifecycle=True``), per-link queue/wait series (with
+    #: ``telemetry=True``), and the fabric snapshot on each row's
+    #: ``fabric`` field
+    fabric: bool = False
     block_size: int = 16
     #: seeded fabric fault injection; setting it also enables the NIC
     #: reliability layer on every point (retransmission under loss)
@@ -196,6 +209,7 @@ class SweepSpec:
         warmup: int = 3,
         telemetry: bool = False,
         lifecycle: bool = False,
+        fabric: bool = False,
         faults: Optional[FaultConfig] = None,
     ) -> "SweepSpec":
         """The Figure 5 grid: preset x queue length x traverse fraction."""
@@ -213,6 +227,7 @@ class SweepSpec:
             ),
             telemetry=telemetry,
             lifecycle=lifecycle,
+            fabric=fabric,
             faults=faults,
         )
 
@@ -226,6 +241,7 @@ class SweepSpec:
         warmup: int = 3,
         telemetry: bool = False,
         lifecycle: bool = False,
+        fabric: bool = False,
         faults: Optional[FaultConfig] = None,
     ) -> "SweepSpec":
         """The Figure 6 grid: preset x queue length."""
@@ -240,6 +256,7 @@ class SweepSpec:
             ),
             telemetry=telemetry,
             lifecycle=lifecycle,
+            fabric=fabric,
             faults=faults,
         )
 
@@ -254,6 +271,7 @@ class SweepSpec:
         warmup: int = 1,
         telemetry: bool = False,
         lifecycle: bool = False,
+        fabric: bool = False,
         faults: Optional[FaultConfig] = None,
     ) -> "SweepSpec":
         """The topology-comparison grid: preset x ranks x topology."""
@@ -271,6 +289,7 @@ class SweepSpec:
             ),
             telemetry=telemetry,
             lifecycle=lifecycle,
+            fabric=fabric,
             faults=faults,
         )
 
@@ -295,8 +314,9 @@ class SweepSpec:
 #: bump when row semantics change, so stale cache files never resurface
 #: (2: rows gained the ``attribution`` field; 3: keys gained ``faults``;
 #: 4: rows gained the ``health`` field, telemetry runs grew timelines;
-#: 5: keys gained ``topology``, the halo benchmark landed)
-CACHE_VERSION = 5
+#: 5: keys gained ``topology``, the halo benchmark landed; 6: rows and
+#: keys gained ``fabric``, fabric-observability sweeps landed)
+CACHE_VERSION = 6
 
 
 class SweepCache:
@@ -333,6 +353,7 @@ class SweepCache:
             "block_size": spec.block_size,
             "telemetry": spec.telemetry,
             "lifecycle": spec.lifecycle,
+            "fabric": spec.fabric,
             "faults": (
                 dataclasses.asdict(spec.faults) if spec.faults is not None else None
             ),
@@ -395,8 +416,9 @@ def run_point(
             lifecycle=spec.lifecycle,
             timeline=spec.telemetry,
             health=spec.telemetry,
+            fabric=spec.fabric,
         )
-        if (spec.telemetry or spec.lifecycle)
+        if (spec.telemetry or spec.lifecycle or spec.fabric)
         else None
     )
     result = bench.runner(
@@ -424,6 +446,7 @@ def run_point(
         metrics=result.metrics if spec.telemetry else None,
         attribution=attribution,
         health=health,
+        fabric=bundle.fabric_snapshot() if spec.fabric else None,
         **fields,
     )
 

@@ -211,3 +211,22 @@ def test_link_accessors():
         fabric.link(0, 2)  # not a physical ring channel
     # 4-node ring: 2 directed channels per node, self-channels excluded
     assert len(fabric.links) == 8
+
+
+@pytest.mark.parametrize("preset,num_nodes", [("torus3d", 16), ("mesh2d", 9)])
+def test_route_table_matches_per_pair_routing(preset, num_nodes):
+    topology = Topology.build(TopologyConfig(preset=preset), num_nodes)
+    table = topology.route_table()
+    assert len(table) == num_nodes * (num_nodes - 1)
+    for (src, dst), route in table.items():
+        assert route == tuple(topology.route(src, dst))
+
+
+def test_route_table_and_diameter_are_cached():
+    topology = Topology.build(TopologyConfig(preset="torus3d"), 16)
+    assert topology.route_table() is topology.route_table()
+    assert topology.diameter() == topology.diameter()
+    # the diameter is the longest minimal route, straight off the table
+    assert topology.diameter() == max(
+        len(route) for route in topology.route_table().values()
+    )

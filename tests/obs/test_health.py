@@ -4,6 +4,7 @@ import pytest
 
 from repro.obs.health import (
     DerivativeWatchdog,
+    ImbalanceWatchdog,
     HealthFinding,
     HealthMonitor,
     MetricWatchdog,
@@ -211,6 +212,9 @@ class TestMonitorAndVerdicts:
             "reorder_stall",
             "backend_degraded",
             "sim_livelock",
+            "hotspot_link",
+            "link_contention",
+            "route_imbalance",
         ]
 
     def test_findings_sort_by_severity_then_code(self):
@@ -278,3 +282,51 @@ class TestMonitorAndVerdicts:
             message="q hot",
         )
         assert HealthFinding.from_obj(finding.to_obj()) == finding
+
+
+class TestImbalanceWatchdog:
+    def watchdog(self, **overrides):
+        defaults = dict(ratio=4.0, floor=0.25, min_series=4)
+        defaults.update(overrides)
+        return ImbalanceWatchdog("route_imbalance", "link*/util", **defaults)
+
+    def peers(self, timeline, values):
+        for index, value in enumerate(values):
+            fill(timeline, f"link{index}/util", [(10, value)])
+
+    def test_fires_when_one_series_dwarfs_its_peers(self):
+        timeline = Timeline()
+        self.peers(timeline, [0.9, 0.02, 0.02, 0.02, 0.02, 0.02])
+        (finding,) = self.watchdog().evaluate(timeline, None)
+        assert finding.code == "route_imbalance"
+        assert finding.series == "link0/util"
+        assert finding.value == pytest.approx(0.9)
+        # the message quantifies the skew against the peer mean
+        assert "peer series" in finding.message
+
+    def test_balanced_series_stay_quiet(self):
+        timeline = Timeline()
+        self.peers(timeline, [0.5, 0.45, 0.5, 0.55])
+        assert self.watchdog().evaluate(timeline, None) == []
+
+    def test_too_few_series_cannot_trip(self):
+        # a 2-rank ring has one series per direction: never an imbalance
+        timeline = Timeline()
+        self.peers(timeline, [0.9, 0.01])
+        assert self.watchdog().evaluate(timeline, None) == []
+
+    def test_floor_suppresses_idle_fabric_skew(self):
+        # 10x skew, but everything is near idle: not worth a finding
+        timeline = Timeline()
+        self.peers(timeline, [0.10, 0.01, 0.01, 0.01])
+        assert self.watchdog().evaluate(timeline, None) == []
+
+    def test_ratio_boundary(self):
+        timeline = Timeline()
+        # exact binary fractions: top == 4.0 * mean with no rounding
+        values = [1.0, 0.0625, 0.0625, 0.0625, 0.0625]
+        mean = sum(values) / len(values)
+        assert 1.0 == 4.0 * mean  # exactly at the ratio: still fires
+        self.peers(timeline, values)
+        assert self.watchdog().evaluate(timeline, None)
+        assert not self.watchdog(ratio=5.0).evaluate(timeline, None)

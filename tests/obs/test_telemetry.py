@@ -157,3 +157,29 @@ class TestChromeExportEndToEnd:
                 depth[ev["tid"]] = depth.get(ev["tid"], 0) - 1
                 assert depth[ev["tid"]] >= 0
         assert all(d == 0 for d in depth.values())
+
+
+class TestFabricSection:
+    def test_report_carries_the_attached_fabric_snapshot(self):
+        telemetry = Telemetry(fabric=True)
+        telemetry.attach_fabric_source(lambda: {"packets_injected": 7})
+        assert telemetry.fabric_snapshot() == {"packets_injected": 7}
+        assert telemetry.report()["fabric"] == {"packets_injected": 7}
+
+    def test_fabric_off_or_unattached_reports_none(self):
+        # off: even an attached source stays silent
+        off = Telemetry(fabric=False)
+        off.attach_fabric_source(lambda: {"packets_injected": 7})
+        assert off.fabric_snapshot() is None
+        assert off.report()["fabric"] is None
+        # on but nothing attached (no routed fabric in the run)
+        assert Telemetry(fabric=True).report()["fabric"] is None
+
+    def test_end_to_end_snapshot_rides_a_real_run(self):
+        telemetry = Telemetry(fabric=True)
+        run_pingpong(
+            nic_preset("alpu128"), PingPongParams(**FAST), telemetry=telemetry
+        )
+        fabric = telemetry.report()["fabric"]
+        assert fabric["packets_injected"] > 0
+        assert fabric["packets_injected"] == fabric["packets_delivered"]

@@ -172,7 +172,7 @@ class TestArtifacts:
         html = (out / "run_report.html").read_text()
         assert "Run report" in html and "healthy" in html
         report = json.loads((out / "run_report.json").read_text())
-        assert report["version"] == 2
+        assert report["version"] == 3
         assert report["health"]["verdict"] == "healthy"
         assert report["attribution"]["aggregate"]["count"] > 0
 

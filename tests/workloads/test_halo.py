@@ -117,3 +117,26 @@ def test_two_rank_benchmarks_accept_topology_override():
     assert [r.latency_ns for r in base_rows] == [
         r.latency_ns for r in routed_rows
     ]
+
+
+def test_fabric_sweep_rows_carry_snapshots_and_key_the_cache():
+    """fabric=True threads per-hop observability through the executor:
+    rows carry the fabric snapshot, latencies stay bit-identical to the
+    bare sweep, and the flag lands in the cache key."""
+    bare_spec = SweepSpec.halo(
+        ("alpu128",), (8,), ("torus3d",), iterations=2, warmup=1
+    )
+    spec = dataclasses.replace(bare_spec, fabric=True)
+    assert SweepSpec.halo(
+        ("alpu128",), (8,), ("torus3d",), iterations=2, warmup=1, fabric=True
+    ) == spec  # the factory passes the flag through
+    (row,) = run_sweep(spec)
+    assert row.fabric["packets_injected"] == row.fabric["packets_delivered"]
+    assert row.fabric["topology"]["preset"] == "torus3d"
+    (bare,) = run_sweep(bare_spec)
+    assert bare.fabric is None
+    assert bare.latency_ns == row.latency_ns  # zero perturbation
+    preset, params = spec.points()[0]
+    assert SweepCache.key(spec, preset, params) != SweepCache.key(
+        bare_spec, preset, params
+    )

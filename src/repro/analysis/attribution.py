@@ -54,6 +54,7 @@ STAGE_ORDER: Tuple[str, ...] = (
     "hop_transit",
     "wire_drop",
     "retransmit",
+    "admission_refused",
     "backend_degraded",
     "rx_queue",
     "nic_rx",

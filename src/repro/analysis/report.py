@@ -421,6 +421,22 @@ def _fabric_html_parts(fabric: Dict[str, object]) -> List[str]:
 
 
 # ------------------------------------------------------------ text render
+def queue_high_water(document: Dict[str, object]) -> List[Tuple[str, int]]:
+    """Per-queue high-water marks from the metrics snapshot.
+
+    Every NIC queue registers a ``<nic>.<queue>/max_depth`` collector;
+    surfacing the marks answers the first capacity question a deep-queue
+    run raises -- "how deep did the unexpected queue actually get?" --
+    without digging through the raw JSON.
+    """
+    metrics = document.get("metrics") or {}
+    marks = []
+    for name, value in metrics.items():
+        if name.endswith("/max_depth") and isinstance(value, (int, float)):
+            marks.append((name[: -len("/max_depth")], int(value)))
+    return sorted(marks)
+
+
 def render_text(document: Dict[str, object]) -> str:
     """The terminal rendering of one (folded or raw) artifact."""
     document = (
@@ -476,6 +492,13 @@ def render_text(document: Dict[str, object]) -> str:
                 f"  {label:<40} {entry['events']:>8} events "
                 f"{entry['seconds']:>10.6f} s"
             )
+    marks = queue_high_water(document)
+    if marks:
+        lines.append("")
+        lines.append(f"queue high-water marks ({len(marks)} queues)")
+        name_width = max(len(name) for name, _ in marks)
+        for name, value in marks:
+            lines.append(f"  {name:<{name_width}} max depth {value}")
     metrics = document.get("metrics") or {}
     lines.append("")
     lines.append(f"metrics snapshot: {len(metrics)} entries (see JSON)")
@@ -642,6 +665,20 @@ def render_html(document: Dict[str, object]) -> str:
                     f"<td>{entry['seconds']:.6f}</td></tr>"
                 )
             parts.append("</tbody></table>")
+
+    marks = queue_high_water(document)
+    if marks:
+        parts.append(f"<h2>Queue high-water marks ({len(marks)})</h2>")
+        parts.append(
+            "<table><thead><tr><th>queue</th><th>max depth</th>"
+            "</tr></thead><tbody>"
+        )
+        for name, value in marks:
+            parts.append(
+                f"<tr><td class='mono'>{esc(name)}</td>"
+                f"<td>{value}</td></tr>"
+            )
+        parts.append("</tbody></table>")
 
     metrics = document.get("metrics") or {}
     parts.append(

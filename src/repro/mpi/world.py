@@ -232,6 +232,19 @@ class MpiWorld:
                     # storm-width windows: see the watchdog's definition
                     window_ps=RETRANSMIT_WINDOW_PS,
                 )
+            if nic.admission is not None:
+                adm = nic.admission
+                probe.add(
+                    "nic",
+                    f"{nic.name}.adm.refused",
+                    (lambda a=adm: a.refused),
+                    series=f"{nic.name}.adm/refused",
+                    mode="cumulative",
+                    # refusals are bursty like retransmit storms; share
+                    # the window so the pressure watchdog sees per-window
+                    # refusal rates
+                    window_ps=RETRANSMIT_WINDOW_PS,
+                )
             probe.add(
                 "nic",
                 f"{nic.name}.fw.completions",
@@ -286,6 +299,11 @@ class MpiWorld:
             mode="cumulative",
         )
         return probe
+
+    def reset_queue_stats(self) -> None:
+        """Re-arm every NIC queue's high-water mark (between phases)."""
+        for nic in self.nics:
+            nic.reset_queue_stats()
 
     # ----------------------------------------------------------------- run
     def run(

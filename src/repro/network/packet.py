@@ -33,6 +33,10 @@ class PacketKind(enum.Enum):
     #: reliability-layer negative ack: receiver saw a corrupt packet and
     #: asks the sender to retransmit ``rel_seq`` immediately
     NACK = "nack"
+    #: admission-control refusal: the receiver's unexpected buffers are
+    #: full; sender should retry ``rel_seq`` later (backed off, without
+    #: spending retry budget -- the receiver is demonstrably alive)
+    NACK_BUSY = "nack_busy"
 
 
 @dataclasses.dataclass(frozen=True)

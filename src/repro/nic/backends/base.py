@@ -148,12 +148,17 @@ class MatchBackend(abc.ABC):
         The engines every surveyed MPI uses (and the ALPU's MATCH FAILURE
         fallback, with ``suffix_only=True``).  Evaluates to the matched
         entry (already unlinked) or ``None``.
+
+        *Which* entries are visited, and in what order, comes from the
+        queue's discipline (:mod:`repro.nic.qdisc`): plain append order
+        under the default FIFO discipline (bit-identical to the
+        historical list walk), shard-narrowed under ``"sharded"``.
         """
         tracer = self.fw.tracer
         tracing = tracer.enabled
         if tracing:
             tracer.begin("nic", f"{self.nic.name}.search.{queue.name}")
-        entries = queue.software_suffix() if suffix_only else queue.entries
+        entries = queue.search_candidates(request, suffix_only=suffix_only)
         cost = 0
         found: Optional[QueueEntry] = None
         visited = 0

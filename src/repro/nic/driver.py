@@ -251,9 +251,8 @@ class AlpuQueueDriver:
         # inserts are posted writes; the command FIFO decouples us from
         # the ALPU's every-other-cycle insert rate
         insert_cost = 0
-        for entry in self.queue.entries[
-            self.queue.alpu_count : self.queue.alpu_count + batch
-        ]:
+        batch_entries = self.queue.peek_software_suffix(batch)
+        for entry in batch_entries:
             if self._recycled_tags:
                 tag = self._recycled_tags.pop()
             else:
@@ -266,7 +265,7 @@ class AlpuQueueDriver:
         if insert_cost:
             yield delay(insert_cost)
         yield delay(self.device.bus_write_command(StopInsert()))
-        self.queue.alpu_count += batch
+        self.queue.mark_alpu_mirrored(batch_entries)
         self.tracked_occupancy += batch
         self.batches += 1
         self.entries_inserted += batch

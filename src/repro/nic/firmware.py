@@ -194,13 +194,20 @@ class NicFirmware:
         rx_dma = nic.rx_dma
         kick = nic.kick
         idle_timeout = us(10)
+        # priority scheduling (repro.nic.qdisc): host commands drain the
+        # matching queues while network arrivals fill them, so under an
+        # unexpected flood servicing the host first keeps receives flowing
+        host_first = nic.config.qdisc.host_priority
         while True:
             self.loop_iterations += 1
             progress = False
+            if host_first and len(cmd_fifo):
+                yield from self._check_host()
+                progress = True
             if len(rx_fifo):
                 yield from self._check_network()
                 progress = True
-            if len(cmd_fifo):
+            if not host_first and len(cmd_fifo):
                 yield from self._check_host()
                 progress = True
             if tx_dma.completed or rx_dma.completed:
@@ -354,10 +361,13 @@ class NicFirmware:
             else EntryKind.UNEXPECTED_RNDV
         )
         if self.lifecycle.enabled:
+            # post-append depth, matching the tracer instant below and
+            # the posted_wait mark's convention (the entry being parked
+            # counts itself); the mark just precedes the actual append
             self.lifecycle.mark_uid(
                 packet.send_id,
                 "unexpected_queue",
-                detail={"depth": len(self.unexpected_q)},
+                detail={"depth": len(self.unexpected_q) + 1},
             )
         entry = self.unexpected_q.allocate_entry(
             kind=kind,

@@ -32,6 +32,7 @@ from repro.nic.alpu_device import AlpuDevice, AlpuFaultConfig
 from repro.nic.dma import DmaConfig, DmaEngine
 from repro.nic.driver import AlpuQueueDriver, DriverConfig
 from repro.nic.firmware import FirmwareConfig, NicFirmware
+from repro.nic.qdisc import AdmissionControl, QdiscConfig, create_discipline
 from repro.nic.reliability import ReliabilityConfig, ReliabilityLayer
 from repro.nic.host_interface import HOST_NIC_LATENCY_PS, PostRecv
 from repro.nic.queues import NicQueue
@@ -69,12 +70,24 @@ class NicConfig:
     alpu_fault: AlpuFaultConfig = dataclasses.field(
         default_factory=AlpuFaultConfig
     )
+    #: queue discipline + admission control (repro.nic.qdisc); the
+    #: default FIFO discipline is bit-identical to the historical queues
+    qdisc: QdiscConfig = dataclasses.field(default_factory=QdiscConfig)
     #: MPI processes sharing this NIC (the paper's footnote 1: "extending
     #: it to support a limited number of processes is straightforward").
     #: With more than one, the NIC folds each local process id into the
     #: context field of the match word, so co-located processes share the
     #: queues and the ALPUs without ever cross-matching.
     ranks_per_node: int = 1
+
+    def __post_init__(self) -> None:
+        if self.qdisc.max_unexpected > 0 and not self.reliability.enabled:
+            raise ValueError(
+                "qdisc.max_unexpected needs the reliability layer: a "
+                "refused packet is recovered by the sender's retransmit "
+                "machinery, which only exists with "
+                "reliability=ReliabilityConfig(enabled=True)"
+            )
 
     @staticmethod
     def baseline() -> "NicConfig":
@@ -135,15 +148,38 @@ class Nic(Component):
         #: anything-to-do wakeup for the firmware loop
         self.kick = Signal(f"{self.name}.kick")
 
-        # the five primary data structures live in NIC memory
-        self.posted_recv_q = NicQueue(f"{self.name}.postedRecvQ", self.allocator)
-        self.unexpected_q = NicQueue(f"{self.name}.unexpectedQ", self.allocator)
+        # the five primary data structures live in NIC memory; the two
+        # matching queues carry the configured discipline (one instance
+        # each -- disciplines hold per-queue shard state), the send queue
+        # is always plain FIFO
+        fmt = config.firmware.match_format
+        self.posted_recv_q = NicQueue(
+            f"{self.name}.postedRecvQ",
+            self.allocator,
+            discipline=create_discipline(config.qdisc, fmt),
+        )
+        self.unexpected_q = NicQueue(
+            f"{self.name}.unexpectedQ",
+            self.allocator,
+            discipline=create_discipline(config.qdisc, fmt),
+        )
         self.send_q = NicQueue(f"{self.name}.sendQ", self.allocator)
         if engine.metrics.enabled:
             for queue in (self.posted_recv_q, self.unexpected_q, self.send_q):
                 queue.attach_depth_gauge(
                     engine.metrics.gauge(f"{queue.name}/depth")
                 )
+                # high-water marks ride every telemetry snapshot
+                engine.metrics.register_collector(
+                    f"{queue.name}/max_depth", (lambda q=queue: q.max_length)
+                )
+        #: buffer-occupancy admission control (None = everything admitted);
+        #: consulted by the reliability layer's receive path
+        self.admission: Optional[AdmissionControl] = (
+            AdmissionControl(self, config.qdisc)
+            if config.qdisc.max_unexpected > 0
+            else None
+        )
 
         # network side.  Without the reliability layer the NIC polls the
         # fabric's rx FIFO directly (the historical, bit-identical path);
@@ -240,6 +276,16 @@ class Nic(Component):
             for device in (self.posted_device, self.unexpected_device)
             if device is not None
         )
+
+    def reset_queue_stats(self) -> None:
+        """Re-arm every queue's high-water mark at its current depth.
+
+        Call between measurement phases (e.g. after a warmup) so the
+        ``<queue>/max_depth`` telemetry reflects only the phase under
+        study rather than the whole process lifetime.
+        """
+        for queue in (self.posted_recv_q, self.unexpected_q, self.send_q):
+            queue.reset_stats()
 
     # -------------------------------------------------------- hardware hooks
     def _on_wire_packet(self, packet: Packet) -> None:

@@ -47,6 +47,10 @@ class ReliabilityConfig:
     backoff: float = 2.0
     #: retransmissions allowed per packet before giving up
     max_retries: int = 8
+    #: ceiling for the NACK_BUSY defer interval; without it a sender
+    #: parked behind a long-lived flood backs off geometrically forever
+    #: and outlives the receiver's drain by whole simulated seconds
+    busy_backoff_cap_ps: int = us(64)
 
     def __post_init__(self) -> None:
         if self.ack_timeout_ps <= 0:
@@ -55,6 +59,11 @@ class ReliabilityConfig:
             raise ValueError(f"backoff must be >= 1, got {self.backoff}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.busy_backoff_cap_ps < self.ack_timeout_ps:
+            raise ValueError(
+                "busy_backoff_cap_ps must be >= ack_timeout_ps, got "
+                f"{self.busy_backoff_cap_ps}"
+            )
 
 
 class _TxRecord:
@@ -98,7 +107,9 @@ class ReliabilityLayer:
         self._m_acks = registry.counter(f"{prefix}/acks_sent")
         self._m_nacks = registry.counter(f"{prefix}/nacks_sent")
         self._m_buffered = registry.counter(f"{prefix}/reordered_held")
+        self._m_busy = registry.counter(f"{prefix}/busy_deferrals")
         self.retransmits = 0
+        self.busy_deferrals = 0
 
     # ------------------------------------------------------- probe surface
     @property
@@ -110,6 +121,16 @@ class ReliabilityLayer:
     def reorder_held(self) -> int:
         """Out-of-order packets currently parked in the reorder buffer."""
         return len(self._reorder)
+
+    def is_rx_head(self, packet: Packet) -> bool:
+        """Is this arrival the next in-order packet from its source?
+
+        Admission control treats the head specially: refusing it cannot
+        shed load (its ACKed successors already sit in the reorder
+        buffer) and can livelock the flow -- see
+        :meth:`repro.nic.qdisc.AdmissionControl.admits`.
+        """
+        return packet.rel_seq == self._expected_rx.get(packet.src, 0)
 
     # --------------------------------------------------------------- tx side
     def send(self, packet: Packet) -> None:
@@ -169,6 +190,35 @@ class ReliabilityLayer:
         self.nic.fabric.inject(packet)
         self._arm_timer(record)
 
+    def _defer_retransmit(self, record: _TxRecord) -> None:
+        """Receiver alive but full (NACK_BUSY): back off, retry later.
+
+        Resets the retry budget -- the budget guards against a dead peer
+        or link, and a NACK_BUSY is proof of liveness -- but keeps
+        multiplying the timeout, so a persistently full receiver sees an
+        exponentially calmer sender instead of a wire-RTT ping-pong.
+        """
+        if record.timer is not None:
+            record.timer.cancel()
+        record.retries = 0
+        record.timeout_ps = min(
+            round(record.timeout_ps * self.config.backoff),
+            self.config.busy_backoff_cap_ps,
+        )
+        self.busy_deferrals += 1
+        self._m_busy.inc()
+        if self.engine.tracer.enabled:
+            self.engine.tracer.instant(
+                "network",
+                f"{self.nic.name}.busy_defer",
+                {
+                    "dst": record.packet.dst,
+                    "rel_seq": record.packet.rel_seq,
+                    "next_try_ps": record.timeout_ps,
+                },
+            )
+        self._arm_timer(record)
+
     # --------------------------------------------------------------- rx side
     def on_wire_arrival(self, packet: Packet) -> None:
         """Everything that lands on the wire passes through here."""
@@ -177,7 +227,11 @@ class ReliabilityLayer:
             # rather than waiting out the sender's timeout.  A corrupt
             # ACK/NACK is just dropped -- the retransmit timer covers it.
             self._m_corrupt.inc()
-            if packet.kind not in (PacketKind.ACK, PacketKind.NACK):
+            if packet.kind not in (
+                PacketKind.ACK,
+                PacketKind.NACK,
+                PacketKind.NACK_BUSY,
+            ):
                 self._send_control(PacketKind.NACK, packet)
                 self._m_nacks.inc()
             return
@@ -191,14 +245,37 @@ class ReliabilityLayer:
             if record is not None:
                 self._retransmit(record, reason="nack")
             return
-        # valid data packet: always ACK (a duplicate means our first ACK
-        # was lost, so the re-ACK is the recovery)
-        self._send_control(PacketKind.ACK, packet)
-        self._m_acks.inc()
+        if packet.kind is PacketKind.NACK_BUSY:
+            record = self._unacked.get((packet.src, packet.rel_seq))
+            if record is not None:
+                self._defer_retransmit(record)
+            return
+        # valid data packet
         expected = self._expected_rx.get(packet.src, 0)
         if packet.rel_seq < expected:
+            # duplicate: our first ACK was lost, so the re-ACK is the
+            # recovery (duplicates bypass admission -- the original was
+            # already accepted and delivered)
+            self._send_control(PacketKind.ACK, packet)
+            self._m_acks.inc()
             self._m_duplicates.inc()
             return
+        admission = self.nic.admission
+        if admission is not None and not admission.admits(packet):
+            # refused *before* the ACK: the sender keeps ownership and
+            # retries once the buffers drain -- via its timeout under
+            # the "drop" policy, via the NACK_BUSY schedule under "nack".
+            # The packet is not parked in the reorder buffer either; a
+            # flood must not hide there.
+            if admission.policy == "nack":
+                self._send_control(PacketKind.NACK_BUSY, packet)
+                self._m_nacks.inc()
+                admission.note_refused(packet, nacked=True)
+            else:
+                admission.note_refused(packet, nacked=False)
+            return
+        self._send_control(PacketKind.ACK, packet)
+        self._m_acks.inc()
         if packet.rel_seq > expected:
             # early: hold until the gap fills so the firmware still sees
             # per-pair in-order delivery

@@ -483,6 +483,10 @@ IMBALANCE_RATIO = 4.0
 IMBALANCE_FLOOR = 0.25
 #: and there are enough channels for "imbalance" to mean anything
 IMBALANCE_MIN_SERIES = 8
+#: admission refusals inside one RETRANSMIT_WINDOW_PS window that count
+#: as sustained pressure (a draining queue refuses at most a straggler
+#: or two per window; a flood refuses every arrival)
+ADMISSION_PRESSURE_RATE = 4.0
 
 
 def default_watchdogs() -> List[Watchdog]:
@@ -521,6 +525,16 @@ def default_watchdogs() -> List[Watchdog]:
             "*.fw/backend_degraded",
             threshold=1.0,
             severity="critical",
+        ),
+        # admission control refusing unexpected arrivals in bursts: the
+        # ``*.adm/refused`` series only exists on NICs with
+        # ``qdisc.max_unexpected`` set, so ordinary runs cannot trip it
+        ThresholdWatchdog(
+            "unexpected_admission_pressure",
+            "*.adm/refused",
+            stat="delta",
+            threshold=ADMISSION_PRESSURE_RATE,
+            severity="warning",
         ),
         StallWatchdog(
             "sim_livelock",

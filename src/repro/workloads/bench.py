@@ -81,6 +81,10 @@ GRID: Tuple[Tuple[str, str, Dict[str, object]], ...] = (
     ("unexpected", "baseline", {"queue_length": 16, "iterations": 4, "warmup": 1}),
     ("unexpected", "hash", {"queue_length": 16, "iterations": 4, "warmup": 1}),
     ("unexpected", "alpu128", {"queue_length": 16, "iterations": 4, "warmup": 1}),
+    # the deep-queue point: a 512-entry unexpected queue on the software
+    # list backend pins the dict-backed NicQueue's O(1) unlink and the
+    # traversal cost model at depth (the queue-churn regression anchor)
+    ("unexpected", "baseline", {"queue_length": 512, "iterations": 3, "warmup": 1}),
     # the topology axes: the same 16-rank halo exchange on the dedicated-
     # wire crossbar and the routed torus pins both the collective
     # schedules and the dimension-ordered router

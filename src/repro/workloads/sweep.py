@@ -34,10 +34,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.analysis.attribution import attribute_run
 from repro.network.faults import FaultConfig
 from repro.nic.nic import NicConfig
+from repro.nic.qdisc import QdiscConfig
 from repro.nic.reliability import ReliabilityConfig
 from repro.obs.telemetry import Telemetry
+from repro.workloads.alltoall import AlltoallParams, run_alltoall
 from repro.workloads.halo import HaloParams, run_halo
+from repro.workloads.multijob import MultijobParams, run_multijob
 from repro.workloads.preposted import PrepostedParams, run_preposted
+from repro.workloads.storm import StormParams, run_storm
 from repro.workloads.unexpected import UnexpectedParams, run_unexpected
 
 #: the three receiver configurations of Figures 5 and 6
@@ -124,6 +128,75 @@ class HaloRow:
     fabric: Optional[Dict[str, object]] = None
 
 
+@dataclasses.dataclass
+class StormRow:
+    """One point of a wildcard-storm surface."""
+
+    preset: str
+    workers: int
+    messages_per_worker: int
+    window: int
+    service_ns: float
+    #: median receive-sojourn of the master's wildcard receives
+    latency_ns: float
+    #: master-NIC unexpected-queue high-water mark
+    max_depth: int = 0
+    #: admission refusals at the master NIC
+    refused: int = 0
+    retransmits: int = 0
+    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
+    metrics: Optional[Dict[str, object]] = None
+    #: per-stage latency attribution (sweeps with ``lifecycle=True`` only)
+    attribution: Optional[Dict[str, object]] = None
+    #: watchdog verdict+findings (``telemetry=True`` sweeps only)
+    health: Optional[Dict[str, object]] = None
+    #: fabric snapshot (sweeps with ``fabric=True`` only)
+    fabric: Optional[Dict[str, object]] = None
+
+
+@dataclasses.dataclass
+class AlltoallRow:
+    """One point of a sparse all-to-all surface."""
+
+    preset: str
+    num_ranks: int
+    degree: int
+    rounds: int
+    #: rank 0's median per-round completion time
+    latency_ns: float
+    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
+    metrics: Optional[Dict[str, object]] = None
+    #: per-stage latency attribution (sweeps with ``lifecycle=True`` only)
+    attribution: Optional[Dict[str, object]] = None
+    #: watchdog verdict+findings (``telemetry=True`` sweeps only)
+    health: Optional[Dict[str, object]] = None
+    #: fabric snapshot (sweeps with ``fabric=True`` only)
+    fabric: Optional[Dict[str, object]] = None
+
+
+@dataclasses.dataclass
+class MultijobRow:
+    """One point of a NIC-sharing surface."""
+
+    preset: str
+    hog_messages: int
+    hog_service_ns: float
+    #: job A's median ping-pong round trip beside the hog
+    latency_ns: float
+    #: node-0 NIC unexpected-queue high-water mark (job B's backlog)
+    max_depth: int = 0
+    #: admission refusals at node 0
+    refused: int = 0
+    #: per-run metrics snapshot (sweeps with ``telemetry=True`` only)
+    metrics: Optional[Dict[str, object]] = None
+    #: per-stage latency attribution (sweeps with ``lifecycle=True`` only)
+    attribution: Optional[Dict[str, object]] = None
+    #: watchdog verdict+findings (``telemetry=True`` sweeps only)
+    health: Optional[Dict[str, object]] = None
+    #: fabric snapshot (sweeps with ``fabric=True`` only)
+    fabric: Optional[Dict[str, object]] = None
+
+
 @dataclasses.dataclass(frozen=True)
 class _Benchmark:
     """How one benchmark plugs into the generic executor."""
@@ -133,6 +206,8 @@ class _Benchmark:
     runner: Callable
     #: parameter names copied onto the row next to ``preset``/``latency_ns``
     row_fields: Tuple[str, ...]
+    #: optional extractor of extra row fields from the runner's result
+    row_extra: Optional[Callable] = None
 
 
 BENCHMARKS: Dict[str, _Benchmark] = {
@@ -153,6 +228,33 @@ BENCHMARKS: Dict[str, _Benchmark] = {
         row_cls=HaloRow,
         runner=run_halo,
         row_fields=("ranks", "topology", "message_size"),
+    ),
+    "storm": _Benchmark(
+        params_cls=StormParams,
+        row_cls=StormRow,
+        runner=run_storm,
+        row_fields=("workers", "messages_per_worker", "window", "service_ns"),
+        row_extra=lambda result: {
+            "max_depth": result.max_unexpected_depth,
+            "refused": result.refused,
+            "retransmits": result.retransmits,
+        },
+    ),
+    "alltoall": _Benchmark(
+        params_cls=AlltoallParams,
+        row_cls=AlltoallRow,
+        runner=run_alltoall,
+        row_fields=("num_ranks", "degree", "rounds"),
+    ),
+    "multijob": _Benchmark(
+        params_cls=MultijobParams,
+        row_cls=MultijobRow,
+        runner=run_multijob,
+        row_fields=("hog_messages", "hog_service_ns"),
+        row_extra=lambda result: {
+            "max_depth": result.max_unexpected_depth,
+            "refused": result.refused,
+        },
     ),
 }
 
@@ -189,6 +291,11 @@ class SweepSpec:
     #: their params (``None`` keeps the crossbar default); the halo
     #: benchmark sweeps topology as a normal parameter axis instead
     topology: Optional[str] = None
+    #: queue-discipline overlay applied to every point's NIC (``None``
+    #: keeps each preset's default FIFO); admission control
+    #: (``max_unexpected > 0``) also enables the reliability layer,
+    #: which carries the refusal protocol
+    qdisc: Optional[QdiscConfig] = None
 
     def __post_init__(self) -> None:
         if self.benchmark not in BENCHMARKS:
@@ -293,6 +400,91 @@ class SweepSpec:
             faults=faults,
         )
 
+    @staticmethod
+    def storm(
+        presets: Sequence[str],
+        workers: Iterable[int],
+        *,
+        messages_per_worker: int = 200,
+        window: int = 16,
+        service_ns: float = 400.0,
+        telemetry: bool = False,
+        lifecycle: bool = False,
+        qdisc: Optional[QdiscConfig] = None,
+    ) -> "SweepSpec":
+        """The wildcard-storm grid: preset x worker count."""
+        return SweepSpec(
+            benchmark="storm",
+            presets=tuple(presets),
+            axes=(("workers", tuple(workers)),),
+            fixed=(
+                ("messages_per_worker", messages_per_worker),
+                ("window", window),
+                ("service_ns", service_ns),
+            ),
+            telemetry=telemetry,
+            lifecycle=lifecycle,
+            qdisc=qdisc,
+        )
+
+    @staticmethod
+    def alltoall(
+        presets: Sequence[str],
+        num_ranks: Iterable[int],
+        degrees: Iterable[int],
+        *,
+        rounds: int = 10,
+        message_size: int = 0,
+        seed: int = 1,
+        telemetry: bool = False,
+        lifecycle: bool = False,
+        qdisc: Optional[QdiscConfig] = None,
+    ) -> "SweepSpec":
+        """The sparse all-to-all grid: preset x world size x degree."""
+        return SweepSpec(
+            benchmark="alltoall",
+            presets=tuple(presets),
+            axes=(
+                ("num_ranks", tuple(num_ranks)),
+                ("degree", tuple(degrees)),
+            ),
+            fixed=(
+                ("rounds", rounds),
+                ("message_size", message_size),
+                ("seed", seed),
+            ),
+            telemetry=telemetry,
+            lifecycle=lifecycle,
+            qdisc=qdisc,
+        )
+
+    @staticmethod
+    def multijob(
+        presets: Sequence[str],
+        hog_messages: Iterable[int],
+        *,
+        hog_service_ns: float = 400.0,
+        iterations: int = 50,
+        warmup: int = 5,
+        telemetry: bool = False,
+        lifecycle: bool = False,
+        qdisc: Optional[QdiscConfig] = None,
+    ) -> "SweepSpec":
+        """The NIC-sharing grid: preset x hog intensity."""
+        return SweepSpec(
+            benchmark="multijob",
+            presets=tuple(presets),
+            axes=(("hog_messages", tuple(hog_messages)),),
+            fixed=(
+                ("hog_service_ns", hog_service_ns),
+                ("iterations", iterations),
+                ("warmup", warmup),
+            ),
+            telemetry=telemetry,
+            lifecycle=lifecycle,
+            qdisc=qdisc,
+        )
+
     # --------------------------------------------------------------- points
     def points(self) -> List[Tuple[str, Dict[str, object]]]:
         """Expand the grid into ``(preset, params kwargs)`` pairs.
@@ -315,8 +507,9 @@ class SweepSpec:
 #: (2: rows gained the ``attribution`` field; 3: keys gained ``faults``;
 #: 4: rows gained the ``health`` field, telemetry runs grew timelines;
 #: 5: keys gained ``topology``, the halo benchmark landed; 6: rows and
-#: keys gained ``fabric``, fabric-observability sweeps landed)
-CACHE_VERSION = 6
+#: keys gained ``fabric``, fabric-observability sweeps landed; 7: keys
+#: gained ``qdisc``, the storm/alltoall/multijob benchmarks landed)
+CACHE_VERSION = 7
 
 
 class SweepCache:
@@ -358,6 +551,9 @@ class SweepCache:
                 dataclasses.asdict(spec.faults) if spec.faults is not None else None
             ),
             "topology": spec.topology,
+            "qdisc": (
+                dataclasses.asdict(spec.qdisc) if spec.qdisc is not None else None
+            ),
             "params": {name: params[name] for name in sorted(params)},
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -403,11 +599,21 @@ def run_point(
     bench = BENCHMARKS[spec.benchmark]
     if nic is None:
         nic = nic_preset(preset, block_size=spec.block_size)
-    if spec.faults is not None and not nic.reliability.enabled:
-        # lossy wire: turn on the link-level retransmission layer (done
-        # here, not on the shared preset NIC, so serial/parallel and
-        # fault/no-fault sweeps never leak state into each other)
-        nic = dataclasses.replace(nic, reliability=ReliabilityConfig(enabled=True))
+    overrides: Dict[str, object] = {}
+    if spec.qdisc is not None:
+        overrides["qdisc"] = spec.qdisc
+    needs_reliability = spec.faults is not None or (
+        spec.qdisc is not None and spec.qdisc.max_unexpected > 0
+    )
+    if needs_reliability and not nic.reliability.enabled:
+        # lossy wire or admission control: turn on the link-level
+        # retransmission layer (done here, not on the shared preset NIC,
+        # so serial/parallel and fault/no-fault sweeps never leak state
+        # into each other); one replace, because NicConfig validates the
+        # qdisc/reliability combination at construction
+        overrides["reliability"] = ReliabilityConfig(enabled=True)
+    if overrides:
+        nic = dataclasses.replace(nic, **overrides)
     bundle = (
         # telemetry sweeps also carry the windowed timeline and the
         # default watchdog battery, so every row gets a health verdict
@@ -438,6 +644,8 @@ def run_point(
             "findings": [f.to_obj() for f in bundle.health_findings()],
         }
     fields = {name: params[name] for name in bench.row_fields}
+    if bench.row_extra is not None:
+        fields.update(bench.row_extra(result))
     return bench.row_cls(
         preset=preset,
         latency_ns=result.median_ns,

@@ -1,0 +1,138 @@
+"""Depth-reporting consistency and high-water-mark plumbing.
+
+Two queue-churn regressions pinned here:
+
+* the lifecycle ``unexpected_queue`` mark and the tracer
+  ``<nic>.unexpected_enqueue`` instant once disagreed by one (pre- vs
+  post-append depth); both now report the post-append depth, and the
+  first test fails if either side drifts again;
+* ``NicQueue.max_length`` was tracked but never surfaced nor reset --
+  it now feeds the ``<nic>.<queue>/max_depth`` snapshot collectors, the
+  run-report "queue high-water marks" section, and re-arms through
+  ``reset_stats`` / ``Nic.reset_queue_stats`` / ``MpiWorld.reset_queue_stats``.
+"""
+
+import dataclasses
+
+from repro.analysis.report import queue_high_water, render_text
+from repro.core.match import MatchFormat
+from repro.memory.layout import AddressAllocator
+from repro.mpi.world import MpiWorld, WorldConfig
+from repro.nic.nic import NicConfig
+from repro.nic.qdisc import QdiscConfig, create_discipline
+from repro.nic.queues import EntryKind, NicQueue
+from repro.obs import Telemetry
+from repro.workloads.unexpected import UnexpectedParams, run_unexpected
+
+FMT = MatchFormat()
+
+
+def _run_with_telemetry(**telemetry_kwargs):
+    telemetry = Telemetry(**telemetry_kwargs)
+    result = run_unexpected(
+        NicConfig.baseline(),
+        UnexpectedParams(queue_length=12, iterations=3, warmup=1),
+        telemetry=telemetry,
+    )
+    return telemetry, result
+
+
+def test_lifecycle_and_tracer_report_the_same_depth():
+    """Both observers report the *post-append* unexpected-queue depth."""
+    telemetry, _ = _run_with_telemetry(tracing=True, lifecycle=True)
+
+    marks = []
+    for lifecycle in telemetry.lifecycles():
+        for mark in lifecycle.marks:
+            if mark.stage == "unexpected_queue":
+                marks.append((mark.time_ps, mark.detail["depth"]))
+    # the mark precedes the costed append; the tracer instant follows it,
+    # so timestamps differ by the enqueue cost but depths must agree
+    lifecycle_depths = [depth for _, depth in sorted(marks)]
+    tracer_depths = [
+        record.args["depth"]
+        for record in telemetry.tracer.records
+        if record.name.endswith(".unexpected_enqueue")
+    ]
+
+    assert lifecycle_depths, "expected unexpected_queue lifecycle marks"
+    assert lifecycle_depths == tracer_depths
+    # the queue really got that deep (fillers stack up before the probe)
+    assert max(lifecycle_depths) >= 12
+
+
+def test_snapshot_surfaces_queue_high_water_marks():
+    telemetry, _ = _run_with_telemetry()
+    snapshot = telemetry.snapshot()
+    assert snapshot["nic1.unexpectedQ/max_depth"] >= 12
+    assert "nic1.postedRecvQ/max_depth" in snapshot
+    assert "nic0.sendQ/max_depth" in snapshot
+
+
+def test_report_renders_high_water_section():
+    telemetry, _ = _run_with_telemetry()
+    document = telemetry.report(benchmark="unexpected")
+
+    marks = dict(queue_high_water(document))
+    assert marks["nic1.unexpectedQ"] >= 12
+
+    text = render_text(document)
+    assert "queue high-water marks" in text
+    assert "nic1.unexpectedQ" in text
+
+
+def _append(queue, tag):
+    bits, mask = FMT.pack_receive(0, 1, tag)
+    entry = queue.allocate_entry(EntryKind.POSTED_RECV, bits=bits, mask=mask, size=0)
+    queue.append(entry)
+    return entry
+
+
+def test_queue_reset_stats_rearms_at_current_depth():
+    queue = NicQueue(
+        "q",
+        AddressAllocator(base=0x1000),
+        discipline=create_discipline(QdiscConfig(), FMT),
+    )
+    entries = [_append(queue, tag) for tag in range(8)]
+    for entry in entries[:6]:
+        queue.remove(entry)
+    assert queue.max_length == 8
+    queue.reset_stats()
+    # re-armed at the *current* depth, not zero -- the two survivors are
+    # still resident and must count against the next phase's peak
+    assert queue.max_length == 2
+    _append(queue, 100)
+    assert queue.max_length == 3
+
+
+def test_world_reset_queue_stats_covers_every_nic_queue():
+    """``MpiWorld.reset_queue_stats`` re-arms marks between phases."""
+    nic = dataclasses.replace(NicConfig.baseline())
+
+    def flooder(mpi):
+        yield from mpi.init()
+        sends = []
+        for _ in range(16):
+            sends.append((yield from mpi.isend(1, 7, 0)))
+        yield from mpi.waitall(sends)
+        yield from mpi.finalize()
+
+    def sink(mpi):
+        yield from mpi.init()
+        for _ in range(16):
+            yield from mpi.recv(0, 7, 0)
+        yield from mpi.finalize()
+
+    world = MpiWorld(WorldConfig(num_ranks=2, nic=nic))
+    world.run({0: flooder, 1: sink}, deadline_us=500_000)
+
+    receiver = world.nics[1]
+    assert receiver.unexpected_q.max_length > 0
+    peak_send = world.nics[0].send_q.max_length
+    assert peak_send > 0
+
+    world.reset_queue_stats()
+    for nic_obj in world.nics:
+        for queue in (nic_obj.posted_recv_q, nic_obj.unexpected_q, nic_obj.send_q):
+            assert queue.max_length == len(queue)

@@ -211,6 +211,7 @@ class TestMonitorAndVerdicts:
             "unexpected_backlog_growth",
             "reorder_stall",
             "backend_degraded",
+            "unexpected_admission_pressure",
             "sim_livelock",
             "hotspot_link",
             "link_contention",

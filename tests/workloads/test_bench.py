@@ -223,8 +223,16 @@ class TestCompare:
         # simulator computes, only how fast the host computes it
         rows = bench.compare_records(bench.BEFORE_PATH, grid_records)
         assert rows, "before grid joined no points"
-        for row in rows:
+        joined = [row for row in rows if row["latencies_identical"] is not None]
+        assert joined, "before grid joined no points"
+        for row in joined:
             assert row["latencies_identical"] is True, row["id"]
+        # grid points added after the freeze join as "new point"; the
+        # deep-queue anchor is the only one so far
+        new_points = [
+            row["id"] for row in rows if row["latencies_identical"] is None
+        ]
+        assert new_points == ["unexpected/baseline/queue_length=512"]
 
     def test_cli_compare_fails_on_drift(
         self, baseline_path, before_path, capsys

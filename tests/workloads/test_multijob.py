@@ -1,0 +1,55 @@
+"""Multi-job NIC sharing: the qdisc layer must isolate the latency job."""
+
+import dataclasses
+
+import pytest
+
+from repro.nic.nic import NicConfig
+from repro.nic.qdisc import QdiscConfig
+from repro.nic.reliability import ReliabilityConfig
+from repro.workloads.multijob import MultijobParams, run_multijob
+
+FAST = MultijobParams(iterations=25, warmup=3, hog_messages=250)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        MultijobParams(iterations=0)
+    with pytest.raises(ValueError):
+        MultijobParams(hog_burst=0)
+    with pytest.raises(ValueError):
+        MultijobParams(hog_service_ns=-1.0)
+
+
+def test_hogless_run_is_plain_pingpong():
+    result = run_multijob(
+        NicConfig.baseline(),
+        MultijobParams(iterations=25, warmup=3, hog_messages=0),
+    )
+    assert len(result.latencies_ns) == 25
+    assert result.max_unexpected_depth <= 2
+    assert 300 < result.median_ns < 2500
+
+
+def test_sharding_and_admission_shield_the_latency_job():
+    """The headline isolation result: under FIFO the pinger's postings
+    walk the hog's backlog; sharded + admission + host priority keep the
+    round trip near its unloaded latency."""
+    exposed = run_multijob(NicConfig.baseline(), FAST)
+    shielded = run_multijob(
+        dataclasses.replace(
+            NicConfig.baseline(),
+            qdisc=QdiscConfig(
+                discipline="sharded",
+                max_unexpected=32,
+                admission_policy="nack",
+                host_priority=True,
+            ),
+            reliability=ReliabilityConfig(enabled=True),
+        ),
+        FAST,
+    )
+    assert exposed.refused == 0
+    assert shielded.refused > 0
+    assert exposed.max_unexpected_depth > shielded.max_unexpected_depth
+    assert shielded.median_ns < exposed.median_ns
